@@ -1,0 +1,53 @@
+"""Design-choice ablations (DESIGN.md §5): topology, DQN, features."""
+
+from repro.experiments import ablations
+
+
+def test_topology_ablation(benchmark, once):
+    result = once(benchmark, ablations.run_topology)
+    print("\n" + result.to_text())
+    msgs = dict(zip(result["n_messages"].x, result["n_messages"].y))
+    # The full mesh is the chattiest; ring and star are cheaper.
+    assert msgs["full"] > msgs["ring"]
+    assert msgs["full"] > msgs["star"]
+    # All topologies deliver a usable model.
+    assert all(0.0 <= v <= 1.0 for v in result["accuracy"].y)
+
+
+def test_dqn_ablation(benchmark, once):
+    result = once(benchmark, ablations.run_dqn)
+    print("\n" + result.to_text())
+    # Savings are achieved across the replay/target sweeps.
+    assert max(result["replay_capacity"].y) >= 0.7
+    assert max(result["target_period"].y) >= 0.7
+
+
+def test_features_ablation(benchmark, once):
+    result = once(benchmark, ablations.run_features)
+    print("\n" + result.to_text())
+    # Time features pay: the best harmonic setting beats no-time-features.
+    assert result.notes["best"] != "none"
+    assert result.notes["gain_over_none"] >= 0.05
+
+
+def test_compression_ablation(benchmark, once):
+    result = once(benchmark, ablations.run_compression)
+    print("\n" + result.to_text())
+    acc = dict(zip(result["accuracy"].x, result["accuracy"].y))
+    wire = dict(zip(result["wire_bytes"].x, result["wire_bytes"].y))
+    # Quantised broadcast is dramatically cheaper...
+    assert wire["quant_8bit"] < 0.25 * wire["raw"]
+    # ...at negligible accuracy cost.
+    assert acc["quant_8bit"] >= acc["raw"] - 0.02
+    # Aggressive sparsification costs some accuracy but still works.
+    assert acc["topk_25"] >= acc["raw"] - 0.15
+
+
+def test_agent_scope_ablation(benchmark, once):
+    result = once(benchmark, ablations.run_agent_scope)
+    print("\n" + result.to_text())
+    saved = dict(zip(result["saved_standby"].x, result["saved_standby"].y))
+    # Both granularities produce a working EMS.
+    assert min(saved.values()) > 0.3
+    # Per-device agents broadcast proportionally more.
+    assert result.notes["broadcast_ratio"] > 1.5

@@ -1,0 +1,20 @@
+"""Fig. 2 — saved standby energy vs shared layers α.
+
+Paper shape: savings rise as more base layers are shared, peaking
+around α = 6; sharing too few layers forfeits collaboration.
+"""
+
+from repro.experiments import fig02_alpha
+
+
+def test_fig02_alpha_shape(benchmark, once):
+    result = once(benchmark, fig02_alpha.run)
+    s = result["saved_standby"]
+    print("\n" + result.to_text())
+    # Sharing most of the network beats sharing almost none of it.
+    assert s.y_at(6) >= s.y_at(1) + 0.05
+    assert s.y_at(6) >= s.y_at(2) + 0.05
+    # The paper's chosen alpha=6 is within tolerance of the sweep's best.
+    assert s.y_at(6) >= max(s.y) - 0.05
+    # Savings are meaningful at the chosen setting.
+    assert s.y_at(6) >= 0.9

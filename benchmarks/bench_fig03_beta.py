@@ -1,0 +1,27 @@
+"""Fig. 3 — DFL accuracy vs broadcast period β.
+
+Paper shape: sub-hour broadcasting is the worst regime (and the most
+expensive on the wire); the chosen β = 12 h sits at/near the best
+accuracy.  Deviation noted in EXPERIMENTS.md: the paper's small drop at
+β = 24 h does not reproduce at compressed scale.
+"""
+
+from repro.experiments import fig03_beta
+from repro.experiments.profiles import small_profile
+
+
+def test_fig03_beta_shape(benchmark, once):
+    profile = small_profile().with_data(n_days=3)
+    result = once(benchmark, fig03_beta.run, profile)
+    acc = result["accuracy"]
+    params = result["params_broadcast"]
+    print("\n" + result.to_text())
+    # Sub-hour broadcast periods hurt accuracy (the paper's low end).
+    assert acc.y_at(12.0) >= acc.y_at(0.1) + 0.05
+    assert acc.y_at(12.0) >= acc.y_at(0.5) + 0.05
+    # The chosen beta=12 is competitive with the best mid-range setting.
+    mid_best = max(acc.y_at(2.0), acc.y_at(6.0), acc.y_at(12.0))
+    assert acc.y_at(12.0) >= mid_best - 0.08
+    # Communication volume strictly decreases with the period — the
+    # paper's stated reason to prefer 12h over 6h at equal accuracy.
+    assert all(a > b for a, b in zip(params.y[:-1], params.y[1:]))

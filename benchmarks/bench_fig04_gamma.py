@@ -1,0 +1,30 @@
+"""Fig. 4 — saved standby energy vs DRL broadcast period γ.
+
+Paper shape: γ ∈ {2, 6, 12} all near-best, with 12 chosen for
+communication efficiency (volume falls with the period).  At the bench's
+6x-compressed day the share *count* compresses too, so the usable band
+ends near γ = 6 h (≈ the paper's 12 h in shares-per-training-day terms);
+EXPERIMENTS.md discusses the mapping.
+"""
+
+from repro.experiments import fig04_gamma
+
+
+def test_fig04_gamma_shape(benchmark, once):
+    result = once(benchmark, fig04_gamma.run)
+    s = result["saved_standby"]
+    params = result["params_broadcast"]
+    print("\n" + result.to_text())
+    # The mid-range periods are competitive with the sweep's best...
+    assert s.y_at(2.0) >= max(s.y) - 0.05
+    assert s.y_at(6.0) >= max(s.y) - 0.12
+    # ...and save substantially.
+    assert s.y_at(6.0) >= 0.8
+    # Too-rare sharing degrades (the right-hand falloff).
+    assert s.y_at(24.0) <= s.y_at(6.0)
+    # Communication volume is non-increasing in the period (sub-hour
+    # periods tie: sharing happens at most once per hour-long episode),
+    # and strictly lower at γ=6 than at γ=1 — the efficiency argument
+    # for the longest period that still performs.
+    assert all(a >= b for a, b in zip(params.y[:-1], params.y[1:]))
+    assert params.y_at(6.0) < params.y_at(1.0)

@@ -1,0 +1,26 @@
+"""Fig. 5 — CDF of load-forecast accuracy for the four models.
+
+Paper shape: LR < SVM < BP < LSTM (the LSTM's accuracy distribution is
+right-most / stochastically largest).
+"""
+
+import numpy as np
+
+from repro.experiments import fig05_cdf
+
+
+def test_fig05_cdf_shape(benchmark, once):
+    result = once(benchmark, fig05_cdf.run)
+    print("\n" + result.to_text())
+    means = {m: result.notes[f"mean_{m}"] for m in ("lr", "svm", "bp", "lstm")}
+    # The paper's full ordering on mean accuracy.
+    assert means["lr"] <= means["svm"] + 0.02
+    assert means["svm"] <= means["bp"] + 0.02
+    assert means["bp"] <= means["lstm"] + 0.02
+    # The endpoints are strict: the LSTM clearly beats LR.
+    assert means["lstm"] >= means["lr"] + 0.05
+    # Every CDF curve is a valid distribution function.
+    for model in ("lr", "svm", "bp", "lstm"):
+        F = np.asarray(result[model].y)
+        assert np.all(np.diff(F) >= 0)
+        assert F[-1] == 1.0

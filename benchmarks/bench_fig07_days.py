@@ -1,0 +1,22 @@
+"""Fig. 7 — prediction accuracy vs cumulative training days.
+
+Paper shape: accuracy grows with training days (steep early, flattening
+late) for every model; the LSTM ends on top.
+"""
+
+from repro.experiments import fig07_days
+
+
+def test_fig07_days_shape(benchmark, once):
+    result = once(benchmark, fig07_days.run)
+    print("\n" + result.to_text())
+    for model in ("lr", "svm", "bp", "lstm"):
+        s = result[model]
+        # Cumulative training helps: the final day beats the first day.
+        assert s.y[-1] >= s.y[0] - 0.02
+    # Meaningful growth somewhere (the learning actually accumulates).
+    assert max(result.notes[f"gain_{m}"] for m in ("lr", "svm", "bp", "lstm")) > 0.1
+    # The LSTM finishes at/near the top.
+    finals = {m: result.notes[f"final_{m}"] for m in ("lr", "svm", "bp", "lstm")}
+    assert finals["lstm"] >= max(finals.values()) - 0.05
+    assert finals["lstm"] >= finals["lr"] + 0.05

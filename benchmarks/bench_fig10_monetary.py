@@ -1,0 +1,25 @@
+"""Fig. 10 — saved monetary cost per residence per month.
+
+Paper shape: fixed-rate and variable-rate plans save about the same on
+average, with a seasonal crossover (each plan wins part of the year).
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_monetary
+
+
+def test_fig10_monetary_shape(benchmark, once):
+    result = once(benchmark, fig10_monetary.run)
+    print("\n" + result.to_text())
+    fixed = np.asarray(result["fixed_rate"].y)
+    variable = np.asarray(result["variable_rate"].y)
+    assert fixed.shape == (12,) and variable.shape == (12,)
+    assert np.all(fixed > 0) and np.all(variable > 0)
+    # Fixed ~ Variable on the annual average.
+    assert abs(result.notes["mean_fixed"] - result.notes["mean_variable"]) <= (
+        0.25 * result.notes["mean_fixed"]
+    )
+    # A genuine seasonal crossover: each plan wins at least one month.
+    wins = int(np.sum(variable > fixed))
+    assert 1 <= wins <= 11

@@ -1,0 +1,25 @@
+"""Fig. 11 — saved energy per residence by hour of day, five methods.
+
+Paper shape: savings vary over the day, and the method ordering of
+Fig. 9 (sharing methods >= non-sharing at this day budget) holds on the
+daily totals.
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_hourly_savings
+
+
+def test_fig11_hourly_shape(benchmark, once):
+    result = once(benchmark, fig11_hourly_savings.run)
+    print("\n" + result.to_text())
+    totals = {m: result.notes[f"total_{m}"] for m in result.series}
+    # Every method saves something.
+    assert all(v > 0 for v in totals.values())
+    # PFDRL's total is at/near the top.
+    assert totals["pfdrl"] >= max(totals.values()) - 0.05 * max(totals.values())
+    # Hourly variation exists (savings are not uniform over the day).
+    pf = np.asarray(result["pfdrl"].y)
+    assert pf.max() > pf.min()
+    # No hour shows negative average savings for PFDRL.
+    assert np.all(pf >= -1e-9)

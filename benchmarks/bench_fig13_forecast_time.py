@@ -1,0 +1,24 @@
+"""Fig. 13 — load-forecasting time overhead.
+
+The paper reports all four models in the same band on a GPU; on the
+pure-numpy substrate the LSTM's sequential BPTT dominates, so the bench
+asserts validity and the hardware-independent facts (EXPERIMENTS.md
+discusses the wall-clock deviation).
+"""
+
+from repro.experiments import fig13_forecast_time
+
+
+def test_fig13_forecast_time_shape(benchmark, once):
+    result = once(benchmark, fig13_forecast_time.run)
+    print("\n" + result.to_text())
+    train = result["train_seconds"]
+    test = result["test_seconds"]
+    # All four models train and test successfully in finite time.
+    assert all(v > 0 for v in train.y)
+    assert all(v >= 0 for v in test.y)
+    # Testing is cheaper than training for every model.
+    for tr, te in zip(train.y, test.y):
+        assert te <= tr
+    # The closed-form LR is the cheapest to train on this substrate.
+    assert train.y_at("lr") == min(train.y)

@@ -1,0 +1,23 @@
+"""Fig. 14 — EMS time overhead, five methods.
+
+Paper shape (via the decisive hardware-independent quantity, parameters
+broadcast): Local broadcasts nothing; PFDRL's α-layer selection
+broadcasts strictly less than FRL's full-model federation — the paper's
+explanation for PFDRL's lower training-time overhead.
+"""
+
+from repro.experiments import fig14_ems_time
+
+
+def test_fig14_ems_time_shape(benchmark, once):
+    result = once(benchmark, fig14_ems_time.run)
+    print("\n" + result.to_text())
+    # Local EMS never broadcasts; PFDRL broadcasts less than FRL.
+    assert result.notes["params_local"] == 0
+    assert 0 < result.notes["params_pfdrl"] < result.notes["params_frl"]
+    # Only the Cloud pipeline ships raw data.
+    up = dict(zip(result["data_bytes_uploaded"].x, result["data_bytes_uploaded"].y))
+    assert up["cloud"] > 0
+    assert up["pfdrl"] == 0 and up["local"] == 0
+    # All methods complete training and testing.
+    assert all(v > 0 for v in result["train_seconds"].y)

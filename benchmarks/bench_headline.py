@@ -1,0 +1,14 @@
+"""Headline claims — high forecast accuracy, the large majority of
+standby energy saved (paper: 92% / 98% at full scale)."""
+
+from repro.experiments import headline
+from repro.experiments.profiles import ems_profile
+
+
+def test_headline_claims(benchmark, once):
+    result = once(benchmark, headline.run, ems_profile())
+    print("\n" + result.to_text())
+    # Directional at bench scale (paper-scale absolute targets are 0.92 /
+    # 0.98; see EXPERIMENTS.md for the scale discussion).
+    assert result.notes["forecast_accuracy"] >= 0.3
+    assert result.notes["saved_standby_fraction"] >= 0.85

@@ -1,0 +1,17 @@
+"""Tables 1 & 2 — definitional artefacts regenerated from the code."""
+
+from repro.experiments import table01_reward, table02_methods
+
+
+def test_table01_reward_matches_paper(benchmark, once):
+    result = once(benchmark, table01_reward.run)
+    print("\n" + result.to_text())
+    assert result.notes["matches_paper"] is True
+    assert result.notes["standby_kill_bonus"] == 30.0
+
+
+def test_table02_method_matrix(benchmark, once):
+    result = once(benchmark, table02_methods.run)
+    print("\n" + result.to_text())
+    assert result.notes["pfdrl_has_all"] is True
+    assert result.notes["others_missing_some"] is True

@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artefact at laptop scale via the
+experiment modules and asserts the paper's *shape* (orderings,
+crossovers, plateaus) — not absolute numbers, since the substrate is a
+simulator rather than the authors' GPU testbed.  Each experiment runs
+once (``benchmark.pedantic(rounds=1)``): the interesting measurement is
+the artefact, the timing is a bonus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once():
+    return run_once

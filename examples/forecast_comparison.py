@@ -1,0 +1,50 @@
+"""Load-forecasting model comparison — LR / SVM / BP / LSTM under DFL.
+
+Reproduces the Fig. 5/7 story interactively: trains each model with
+decentralized federated learning day by day, prints the accuracy
+trajectory, and contrasts federated vs purely-local training for the
+best model.
+
+Run:  python examples/forecast_comparison.py
+"""
+
+import numpy as np
+
+from repro.config import FederationConfig, ForecastConfig
+from repro.data import generate_neighborhood
+from repro.federated.dfl import DFLTrainer
+
+
+def main() -> None:
+    dataset = generate_neighborhood(
+        n_residences=5, n_days=5, minutes_per_day=240,
+        device_types=("tv", "light", "microwave"), heterogeneity=0.35, seed=3,
+    )
+    train, test = dataset.slice_days(0, 4), dataset.slice_days(4, 5)
+    fed = FederationConfig(beta_hours=6.0)
+
+    print("Per-day held-out accuracy while training cumulatively (DFL):\n")
+    print("day   " + "".join(f"{m:>8}" for m in ("lr", "svm", "bp", "lstm")))
+    trainers = {}
+    for model in ("lr", "svm", "bp", "lstm"):
+        fc = ForecastConfig(model=model, window=10, horizon=10)
+        trainers[model] = DFLTrainer(train, fc, fed, mode="decentralized", seed=0)
+    for day in range(4):
+        row = [f"{day + 1:>3}  "]
+        for model, tr in trainers.items():
+            tr.run_day()
+            row.append(f"{tr.mean_accuracy(test):8.3f}")
+        print("".join(row))
+
+    print("\nFederated vs local training (lstm):")
+    for mode in ("decentralized", "local"):
+        fc = ForecastConfig(model="lstm", window=10, horizon=10)
+        tr = DFLTrainer(train, fc, fed, mode=mode, seed=0)
+        tr.run(4)
+        acc = tr.mean_accuracy(test)
+        msgs = tr.bus.stats.n_messages
+        print(f"  {mode:>13}: accuracy={acc:.3f}  messages={msgs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Privacy demo: why the paper avoids a cloud aggregator.
+
+Shows the model-inversion threat concretely — a malicious aggregator
+that observes a client's per-round weight updates can reconstruct the
+client's private consumption window — and the standard clip+noise
+mitigation degrading the attack, at a measurable accuracy cost.
+
+Run:  python examples/privacy_demo.py
+"""
+
+import numpy as np
+
+from repro.data import generate_neighborhood
+from repro.federated.privacy import (
+    clip_then_noise,
+    leakage_of_update,
+    rank1_input_reconstruction,
+    reconstruction_similarity,
+)
+from repro.forecast import LinearRegressionForecaster, make_windows, normalize_power
+
+
+def main() -> None:
+    ds = generate_neighborhood(
+        n_residences=1, n_days=2, minutes_per_day=240,
+        device_types=("tv",), seed=13,
+    )
+    trace = ds[0]["tv"]
+    series = normalize_power(trace.power_kw, trace.on_kw)
+    X, y = make_windows(series, window=12, horizon=6, stride=6)
+
+    # The client trains one round on ONE private window and "uploads".
+    # Use the most structured window (a usage event) for the demo.
+    idx = int(np.argmax(X.var(axis=1)))
+    f = LinearRegressionForecaster(12, 6, ridge=0.1, blend=1.0, n_extra=0)
+    before = f.get_weights()[0]
+    f.fit(X[idx : idx + 1], y[idx : idx + 1])
+    after = f.get_weights()[0]
+    x_true = X[idx]
+
+    print("== Malicious aggregator, raw update ==")
+    sim = leakage_of_update(before[:-1], after[:-1], x_true)
+    x_hat = rank1_input_reconstruction(after[:-1] - before[:-1])
+    print(f"reconstruction similarity: {sim:.3f}")
+    print(f"true window (normalised) : {np.round(x_true, 2)}")
+    scale = np.linalg.norm(x_true)
+    print(f"recovered window (scaled): {np.round(np.abs(x_hat) * scale, 2)}")
+
+    print("\n== With clip + Gaussian noise on the broadcast ==")
+    for noise in (0.0, 0.01, 0.05, 0.2):
+        delta = after - before
+        protected = clip_then_noise([delta], clip_norm=1.0, noise_std=noise, seed=7)[0]
+        sim_p = reconstruction_similarity(
+            x_true, rank1_input_reconstruction(protected[:-1])
+        )
+        print(f"noise_std={noise:<5}: reconstruction similarity {sim_p:.3f}")
+
+    print("\nPFDRL's answer is architectural: no aggregator sees per-client")
+    print("updates at all — broadcasts stay inside the neighbourhood mesh,")
+    print("and the DRL personalization layers never leave the home.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: the full PFDRL pipeline in ~30 lines.
+
+Generates a small synthetic neighbourhood, trains the decentralized
+federated load forecasters (Algorithm 1), trains the personalized
+federated DQN energy managers (Algorithm 2), and reports the held-out
+forecast accuracy and standby-energy savings.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import (
+    DataConfig,
+    DQNConfig,
+    FederationConfig,
+    ForecastConfig,
+    PFDRLConfig,
+)
+from repro.core import PFDRLSystem
+
+
+def main() -> None:
+    config = PFDRLConfig(
+        data=DataConfig(
+            n_residences=6,
+            n_days=4,
+            minutes_per_day=240,  # compressed day: one "hour" = 10 min
+            device_types=("tv", "light", "fridge", "desktop"),
+            heterogeneity=0.7,
+            seed=42,
+        ),
+        forecast=ForecastConfig(model="lr", window=10, horizon=10),
+        dqn=DQNConfig(
+            hidden_width=16, learning_rate=0.005, learn_every=3,
+            epsilon_decay_steps=800, reward_scale=1 / 30,
+        ),
+        federation=FederationConfig(alpha=6, beta_hours=6, gamma_hours=6),
+        episodes=2,
+    )
+
+    print("Running the PFDRL pipeline (DFL forecasting -> PFDRL EMS)...")
+    result = PFDRLSystem(config).run()
+
+    print(f"\ntrain days: {result.n_train_days}   test days: {result.n_test_days}")
+    print(f"held-out forecast accuracy : {result.forecast_accuracy:.1%}")
+    print(f"standby energy saved       : {result.ems.saved_standby_fraction:.1%}")
+    print(f"saved kWh per residence    : "
+          f"{result.ems.saved_standby_kwh.mean():.3f} kWh/test-day")
+    print(f"comfort violations (min)   : {int(result.ems.comfort_violations.sum())}")
+
+
+if __name__ == "__main__":
+    main()

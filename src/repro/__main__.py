@@ -1,0 +1,73 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                       # available experiments
+    python -m repro run fig05_cdf              # one experiment, text table
+    python -m repro run fig02_alpha --profile ems --seed 1
+    python -m repro report                     # the quick report subset
+    python -m repro report --all               # every experiment (minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.profiles import ems_profile, medium_profile, paper_profile, small_profile
+from repro.experiments.report import EXPERIMENTS, QUICK, run_experiment, run_report
+
+PROFILES = {
+    "small": small_profile,
+    "ems": ems_profile,
+    "medium": medium_profile,
+    "paper": paper_profile,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PFDRL reproduction — regenerate the paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p_run = sub.add_parser("run", help="run one experiment and print its table")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--profile", choices=sorted(PROFILES), default=None,
+                       help="scale profile (default: the experiment's own)")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser("report", help="run a set of experiments as one report")
+    p_rep.add_argument("--all", action="store_true",
+                       help="run every experiment (minutes) instead of the quick subset")
+    p_rep.add_argument("--profile", choices=sorted(PROFILES), default=None)
+    p_rep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            marker = "*" if name in QUICK else " "
+            print(f"{marker} {name}")
+        print("\n(* = included in the quick `report` subset)")
+        return 0
+
+    profile = PROFILES[args.profile](args.seed) if args.profile else None
+    if args.command == "run":
+        result = run_experiment(args.experiment, profile, args.seed)
+        print(result.to_text())
+        return 0
+    if args.command == "report":
+        names = sorted(EXPERIMENTS) if args.all else None
+        print(run_report(names, profile, args.seed))
+        return 0
+    return 2  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The paper's comparison pipelines (Table 2).
+
+====== ========================= ===================== ===========================
+Method Load forecasting          EMS                   Reference
+====== ========================= ===================== ===========================
+Local  local NN                  local RL              Xu & Jia 2020 [33]
+Cloud  cloud NN (pooled data)    local RL              Lu 2019 [20]
+FL     federated learning        local RL              Taïk & Cherkaoui 2020 [27]
+FRL    federated learning        federated RL          Lee 2020 [18]
+PFDRL  decentralized FL          personalized fed. RL  this paper
+====== ========================= ===================== ===========================
+
+All five run through :func:`repro.baselines.common.run_method` on a
+*shared* dataset so comparisons isolate the method, not the workload.
+"""
+
+from repro.baselines.common import (
+    METHODS,
+    MethodResult,
+    MethodSpec,
+    method_table,
+    run_method,
+)
+
+__all__ = ["METHODS", "MethodSpec", "MethodResult", "run_method", "method_table"]

@@ -1,0 +1,26 @@
+"""Cloud baseline — pooled-data cloud forecasting + local RL (Lu 2019 [20]).
+
+Raw device windows are uploaded to a cloud hub that trains one global
+model per device type; EMS stays local.  Best-case forecasting data
+volume, worst-case privacy (Table 2 marks both Local Area and Data
+Privacy with an X).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import METHODS, MethodResult, MethodSpec, run_method
+from repro.config import PFDRLConfig
+from repro.data.dataset import NeighborhoodDataset
+
+__all__ = ["SPEC", "run"]
+
+SPEC: MethodSpec = METHODS["cloud"]
+
+
+def run(
+    config: PFDRLConfig,
+    dataset: NeighborhoodDataset | None = None,
+    track_convergence: bool = False,
+) -> MethodResult:
+    """Run the CLOUD pipeline (see :func:`repro.baselines.common.run_method`)."""
+    return run_method("cloud", config, dataset, track_convergence)

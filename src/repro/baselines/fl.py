@@ -1,0 +1,25 @@
+"""FL baseline — federated load forecasting + local RL (Taik & Cherkaoui 2020 [27]).
+
+Classic FedAvg through a cloud aggregator for the forecasters; the EMS
+plans are *not* shared, so energy-management convergence matches the
+Local/Cloud baselines (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import METHODS, MethodResult, MethodSpec, run_method
+from repro.config import PFDRLConfig
+from repro.data.dataset import NeighborhoodDataset
+
+__all__ = ["SPEC", "run"]
+
+SPEC: MethodSpec = METHODS["fl"]
+
+
+def run(
+    config: PFDRLConfig,
+    dataset: NeighborhoodDataset | None = None,
+    track_convergence: bool = False,
+) -> MethodResult:
+    """Run the FL pipeline (see :func:`repro.baselines.common.run_method`)."""
+    return run_method("fl", config, dataset, track_convergence)

@@ -1,0 +1,26 @@
+"""FRL baseline — federated forecasting + federated RL (Lee 2020 [18]).
+
+Both stages aggregate through a cloud server; the DQNs are fully shared
+(one global EMS model).  Fast EMS convergence via plan sharing, but no
+personalization and double the broadcast volume (the paper's Fig. 14
+shows FRL with the highest time overhead).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import METHODS, MethodResult, MethodSpec, run_method
+from repro.config import PFDRLConfig
+from repro.data.dataset import NeighborhoodDataset
+
+__all__ = ["SPEC", "run"]
+
+SPEC: MethodSpec = METHODS["frl"]
+
+
+def run(
+    config: PFDRLConfig,
+    dataset: NeighborhoodDataset | None = None,
+    track_convergence: bool = False,
+) -> MethodResult:
+    """Run the FRL pipeline (see :func:`repro.baselines.common.run_method`)."""
+    return run_method("frl", config, dataset, track_convergence)

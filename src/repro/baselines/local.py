@@ -1,0 +1,25 @@
+"""Local baseline — local NN forecasting + local RL EMS (Xu & Jia 2020 [33]).
+
+Everything stays on-device: no collaboration, full privacy, full
+personalization — but the slowest convergence (each home learns from its
+own data only, the paper's Fig. 9 "Local" curve).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import METHODS, MethodResult, MethodSpec, run_method
+from repro.config import PFDRLConfig
+from repro.data.dataset import NeighborhoodDataset
+
+__all__ = ["SPEC", "run"]
+
+SPEC: MethodSpec = METHODS["local"]
+
+
+def run(
+    config: PFDRLConfig,
+    dataset: NeighborhoodDataset | None = None,
+    track_convergence: bool = False,
+) -> MethodResult:
+    """Run the LOCAL pipeline (see :func:`repro.baselines.common.run_method`)."""
+    return run_method("local", config, dataset, track_convergence)

@@ -1,0 +1,38 @@
+"""PFDRL core (paper §3.3, Algorithm 2).
+
+- :mod:`repro.core.streams` — aligned (predicted, real, mode) minute
+  streams per device: the bridge from DFL forecasting output to the DRL
+  environment ("Feed load forecasting result together with real-time
+  energy value as deep reinforcement learning environment").
+- :mod:`repro.core.personalization` — the α base/personalization layer
+  split over a DQN (Eqs. 7-8).
+- :mod:`repro.core.pfdrl` — the PFDRL trainer: per-residence DQN agents,
+  hour-long episodes, γ-periodic partial broadcast, three sharing modes
+  (personalized / full / none) covering PFDRL, FRL and the local EMS.
+- :mod:`repro.core.system` — one-call end-to-end pipeline: generate →
+  DFL forecast → PFDRL energy management → evaluation.
+- :mod:`repro.core.controller` — the deployment surface: a streaming
+  minute-loop controller over trained forecasters + DQN.
+"""
+
+from repro.core.controller import ControllerStats, DeviceNominals, OnlineController
+from repro.core.streams import DeviceStream, ResidenceStream, build_streams, naive_predictions
+from repro.core.personalization import PersonalizationManager
+from repro.core.pfdrl import EMSEvaluation, PFDRLDayResult, PFDRLTrainer
+from repro.core.system import PFDRLSystem, SystemResult
+
+__all__ = [
+    "OnlineController",
+    "DeviceNominals",
+    "ControllerStats",
+    "DeviceStream",
+    "ResidenceStream",
+    "build_streams",
+    "naive_predictions",
+    "PersonalizationManager",
+    "PFDRLTrainer",
+    "PFDRLDayResult",
+    "EMSEvaluation",
+    "PFDRLSystem",
+    "SystemResult",
+]

@@ -1,0 +1,175 @@
+"""Online deployment controller — the trained system as it would run.
+
+Training uses batched day streams; deployment is a minute loop: readings
+arrive one minute at a time, the forecast refreshes at every horizon
+boundary ("by default hourly", §3.1), and the DQN picks one action per
+device per minute.  :class:`OnlineController` packages one residence's
+trained forecasters + DQN agent behind exactly that loop:
+
+>>> controller = OnlineController(forecasters, agent, nominals)  # doctest: +SKIP
+>>> actions = controller.observe_minute({"tv": 0.012, "light": 0.0})  # doctest: +SKIP
+
+Until a device has a full lag window of history, its forecast falls back
+to persistence (the last reading), so the controller is usable from the
+first minute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.forecast import Forecaster, augment_time_features, normalize_power
+from repro.rl.dqn import DQNAgent
+from repro.rl.qnet import build_state
+
+__all__ = ["OnlineController", "DeviceNominals", "ControllerStats"]
+
+
+@dataclass(frozen=True)
+class DeviceNominals:
+    """Per-device reference levels the controller needs."""
+
+    on_kw: float
+    standby_kw: float
+
+    def __post_init__(self) -> None:
+        if self.on_kw <= 0 or self.standby_kw < 0:
+            raise ValueError("need on_kw > 0 and standby_kw >= 0")
+
+
+@dataclass
+class ControllerStats:
+    """Cumulative deployment counters."""
+
+    minutes: int = 0
+    forecasts_made: int = 0
+    actions: dict[int, int] = field(default_factory=lambda: {0: 0, 1: 0, 2: 0})
+    #: Energy the controller withheld (kWh), per device.
+    saved_kwh: dict[str, float] = field(default_factory=dict)
+
+
+class OnlineController:
+    """Streaming per-residence controller over trained components.
+
+    Parameters
+    ----------
+    forecasters:
+        Trained per-device forecasters (e.g. from a
+        :class:`repro.federated.dfl.DFLClient` after DFL training).
+    agent:
+        Trained :class:`repro.rl.dqn.DQNAgent` (greedy at deployment).
+    nominals:
+        Per-device :class:`DeviceNominals`.
+    minutes_per_day:
+        Calendar length for the time features.
+    t0:
+        Absolute minute-of-deployment start (calendar phase).
+    """
+
+    def __init__(
+        self,
+        forecasters: dict[str, Forecaster],
+        agent: DQNAgent,
+        nominals: dict[str, DeviceNominals],
+        minutes_per_day: int = 1440,
+        t0: int = 0,
+    ) -> None:
+        if set(forecasters) != set(nominals):
+            raise ValueError("forecasters and nominals must cover the same devices")
+        if not forecasters:
+            raise ValueError("need at least one device")
+        self.forecasters = forecasters
+        self.agent = agent
+        self.nominals = nominals
+        self.minutes_per_day = int(minutes_per_day)
+        self.t0 = int(t0)
+        self.stats = ControllerStats()
+        self.stats.saved_kwh = {d: 0.0 for d in forecasters}
+
+        self._history: dict[str, list[float]] = {d: [] for d in forecasters}
+        self._pending_forecast: dict[str, np.ndarray] = {}
+        self._forecast_pos: dict[str, int] = {d: 0 for d in forecasters}
+
+    # ------------------------------------------------------------------
+    @property
+    def devices(self) -> tuple[str, ...]:
+        return tuple(self.forecasters)
+
+    def _horizon(self, device: str) -> int:
+        return self.forecasters[device].horizon
+
+    def _maybe_refresh_forecast(self, device: str) -> None:
+        """At horizon boundaries (and at start) predict the next block."""
+        fc = self.forecasters[device]
+        pos = self._forecast_pos[device]
+        have = device in self._pending_forecast
+        if have and pos < self._horizon(device):
+            return
+        history = self._history[device]
+        nom = self.nominals[device]
+        if len(history) < fc.window:
+            # Persistence fallback until a full window exists.
+            last = history[-1] if history else nom.standby_kw
+            self._pending_forecast[device] = np.full(self._horizon(device), last)
+        else:
+            window = normalize_power(np.asarray(history[-fc.window:]), nom.on_kw)
+            X = window[None, :]
+            if fc.n_extra:
+                offsets = np.asarray([self.stats.minutes])
+                X = augment_time_features(
+                    X, offsets, self.minutes_per_day, t0=self.t0,
+                    harmonics=fc.n_extra // 2,
+                )
+            pred = np.clip(fc.predict(X)[0], 0.0, None) * nom.on_kw
+            self._pending_forecast[device] = pred
+            self.stats.forecasts_made += 1
+        self._forecast_pos[device] = 0
+
+    # ------------------------------------------------------------------
+    def observe_minute(self, readings: dict[str, float]) -> dict[str, int]:
+        """Consume one minute of per-device readings; return actions.
+
+        Actions follow the paper's encoding: 0 = off, 1 = standby,
+        2 = on (pass through).
+        """
+        if set(readings) != set(self.forecasters):
+            raise ValueError("readings must cover exactly the managed devices")
+        actions: dict[str, int] = {}
+        for device, value in readings.items():
+            if value < 0:
+                raise ValueError(f"negative reading for {device!r}")
+            self._maybe_refresh_forecast(device)
+            nom = self.nominals[device]
+            pred = float(self._pending_forecast[device][self._forecast_pos[device]])
+            state = build_state(pred, value, nom.on_kw, nom.standby_kw, device=device)
+            action = self.agent.act(state, greedy=True)
+            actions[device] = action
+            self.stats.actions[action] += 1
+
+            # Controlled draw under the chosen action (same semantics as
+            # the training environment).
+            if action == 0:
+                controlled = 0.0
+            elif action == 1:
+                controlled = min(value, nom.standby_kw * 1.1)
+            else:
+                controlled = value
+            self.stats.saved_kwh[device] += (value - controlled) / 60.0
+
+            self._history[device].append(value)
+            self._forecast_pos[device] += 1
+        self.stats.minutes += 1
+        return actions
+
+    def run_trace(self, traces: dict[str, np.ndarray]) -> list[dict[str, int]]:
+        """Convenience: stream whole aligned traces minute by minute."""
+        lengths = {np.asarray(t).shape[0] for t in traces.values()}
+        if len(lengths) != 1:
+            raise ValueError("traces must be aligned")
+        (n,) = lengths
+        return [
+            self.observe_minute({d: float(np.asarray(t)[i]) for d, t in traces.items()})
+            for i in range(n)
+        ]

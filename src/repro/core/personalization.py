@@ -1,0 +1,74 @@
+"""The α base/personalization split over a DQN (paper §3.3.2, Eqs. 7-8).
+
+The Q-network's ``n_hidden_layers`` hidden layers plus its output layer
+form the layer groups; the first ``alpha`` hidden layers are *base*
+layers (broadcast and federated-averaged, Eq. 7), everything after them
+— the remaining hidden layers and the output layer — is *personal*
+(trained only locally; the recombination of Eq. 8 is the in-place merge
+of averaged base arrays with untouched personal arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.federated.aggregation import (
+    aggregate_partial,
+    base_param_count,
+    split_base_personal,
+)
+from repro.rl.dqn import DQNAgent
+
+__all__ = ["PersonalizationManager"]
+
+
+class PersonalizationManager:
+    """Extracts / merges the α-split weights of a :class:`DQNAgent`."""
+
+    def __init__(self, agent: DQNAgent, alpha: int) -> None:
+        groups = agent.hidden_layer_groups()
+        n_hidden = agent.qnet.n_hidden_layers
+        if not 0 <= alpha <= n_hidden:
+            raise ValueError(f"alpha must be in [0, {n_hidden}], got {alpha}")
+        self.agent = agent
+        self.alpha = int(alpha)
+        group_sizes = [len(g) for g in groups]
+        self.base_idx, self.personal_idx = split_base_personal(group_sizes, alpha)
+
+    # ------------------------------------------------------------------
+    def base_weights(self) -> list[np.ndarray]:
+        """Copies of the base (broadcastable) arrays, in base order."""
+        weights = self.agent.get_weights()
+        return [weights[i].copy() for i in self.base_idx]
+
+    def n_base_params(self) -> int:
+        """Scalar count of what goes on the wire per broadcast."""
+        return base_param_count(self.agent.get_weights(), self.base_idx)
+
+    def n_total_params(self) -> int:
+        return sum(int(w.size) for w in self.agent.get_weights())
+
+    # ------------------------------------------------------------------
+    def apply_aggregation(
+        self,
+        received_base: Sequence[Sequence[np.ndarray]],
+        client_weights: Sequence[float] | None = None,
+        sync_target: bool = True,
+    ) -> None:
+        """Eq. 7 + Eq. 8: merge received base layers into the agent.
+
+        The local model's own base layers participate in the average (the
+        agent is one of the N residences in Eq. 7).  The target network is
+        re-synced by default so the next TD targets come from the merged
+        model rather than a stale pre-merge copy.
+        """
+        if not received_base:
+            return
+        merged = aggregate_partial(
+            self.agent.get_weights(), received_base, self.base_idx, client_weights
+        )
+        self.agent.set_weights(merged)
+        if sync_target:
+            self.agent.sync_target()

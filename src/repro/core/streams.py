@@ -1,0 +1,159 @@
+"""Aligned (predicted, real) minute streams — the DRL environment's fuel.
+
+The DFL stage predicts the next hour per device; the DRL stage consumes
+minute-aligned pairs of (forecast, real-time) values.  This module
+assembles full-length predicted series from a trained
+:class:`repro.federated.dfl.DFLTrainer` (or a naive fallback predictor)
+and packages them with the ground-truth traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import NeighborhoodDataset
+from repro.federated.dfl import DFLTrainer
+from repro.forecast import denormalize_power, normalize_power
+
+__all__ = ["DeviceStream", "ResidenceStream", "build_streams", "naive_predictions"]
+
+
+@dataclass
+class DeviceStream:
+    """One device's aligned real/predicted series plus nominal levels."""
+
+    device: str
+    real_kw: np.ndarray
+    predicted_kw: np.ndarray
+    mode: np.ndarray
+    on_kw: float
+    standby_kw: float
+
+    def __post_init__(self) -> None:
+        self.real_kw = np.asarray(self.real_kw, dtype=np.float64)
+        self.predicted_kw = np.asarray(self.predicted_kw, dtype=np.float64)
+        self.mode = np.asarray(self.mode, dtype=np.int8)
+        if not (self.real_kw.shape == self.predicted_kw.shape == self.mode.shape):
+            raise ValueError("real, predicted and mode series must align")
+        if self.real_kw.ndim != 1:
+            raise ValueError("series must be 1-D")
+        if self.on_kw <= 0:
+            raise ValueError("on_kw must be > 0")
+
+    def __len__(self) -> int:
+        return int(self.real_kw.shape[0])
+
+    def slice(self, start: int, stop: int) -> "DeviceStream":
+        return DeviceStream(
+            device=self.device,
+            real_kw=self.real_kw[start:stop],
+            predicted_kw=self.predicted_kw[start:stop],
+            mode=self.mode[start:stop],
+            on_kw=self.on_kw,
+            standby_kw=self.standby_kw,
+        )
+
+
+@dataclass
+class ResidenceStream:
+    """All device streams for one residence."""
+
+    residence_id: int
+    devices: dict[str, DeviceStream]
+    minutes_per_day: int
+
+    def __post_init__(self) -> None:
+        lengths = {len(s) for s in self.devices.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"device streams have inconsistent lengths: {lengths}")
+
+    @property
+    def n_minutes(self) -> int:
+        return len(next(iter(self.devices.values()))) if self.devices else 0
+
+    def slice(self, start: int, stop: int) -> "ResidenceStream":
+        return ResidenceStream(
+            residence_id=self.residence_id,
+            devices={d: s.slice(start, stop) for d, s in self.devices.items()},
+            minutes_per_day=self.minutes_per_day,
+        )
+
+
+def naive_predictions(series: np.ndarray, horizon: int) -> np.ndarray:
+    """Persistence forecast: each horizon block repeats the previous block.
+
+    Used as the fallback predictor (and as the prediction for the initial
+    minutes a real forecaster cannot cover).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    out = series.copy()
+    if series.shape[0] > horizon:
+        out[horizon:] = series[:-horizon]
+        out[:horizon] = series[:horizon]
+    return out
+
+
+def build_streams(
+    dataset: NeighborhoodDataset,
+    dfl_trainer: DFLTrainer | None = None,
+    t0: int | None = None,
+) -> list[ResidenceStream]:
+    """Build per-residence streams, predicting with the DFL models.
+
+    Parameters
+    ----------
+    dataset:
+        The data to stream (typically the evaluation/test split).
+    dfl_trainer:
+        A trained DFL trainer whose clients predict each device's next
+        hour.  ``None`` falls back to persistence forecasts.
+    t0:
+        Absolute minute index of ``dataset``'s first sample (calendar
+        phase for the time features); defaults to the trainer's consumed
+        minutes, or 0 without a trainer.
+
+    Minutes not covered by forecaster output (the initial lag window and
+    any trailing remainder) fall back to the persistence forecast.
+    """
+    horizon = dfl_trainer.forecast_config.horizon if dfl_trainer else max(
+        1, dataset.minutes_per_day // 24
+    )
+    if t0 is None:
+        t0 = dfl_trainer.minutes_trained if dfl_trainer else 0
+
+    streams: list[ResidenceStream] = []
+    for res in dataset.residences:
+        devices: dict[str, DeviceStream] = {}
+        for device, trace in res:
+            predicted = naive_predictions(trace.power_kw, horizon)
+            if dfl_trainer is not None:
+                client = dfl_trainer.clients[res.residence_id]
+                series_norm = normalize_power(trace.power_kw, trace.on_kw)
+                pred_windows, _real, offsets = client.predict_series(
+                    device, series_norm, t0=t0
+                )
+                for i, off in enumerate(offsets):
+                    stop = min(off + horizon, trace.power_kw.shape[0])
+                    predicted[off:stop] = denormalize_power(
+                        pred_windows[i, : stop - off], trace.on_kw
+                    )
+            devices[device] = DeviceStream(
+                device=device,
+                real_kw=trace.power_kw,
+                predicted_kw=predicted,
+                mode=trace.mode,
+                on_kw=trace.on_kw,
+                standby_kw=trace.standby_kw,
+            )
+        streams.append(
+            ResidenceStream(
+                residence_id=res.residence_id,
+                devices=devices,
+                minutes_per_day=dataset.minutes_per_day,
+            )
+        )
+    return streams

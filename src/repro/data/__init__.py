@@ -1,0 +1,62 @@
+"""Synthetic Pecan-Street-like residential energy data substrate.
+
+The paper evaluates on the Pecan Street Dataport (669 Texas homes,
+2013-2017, device-level minute-resolution loads), which is
+license/registration gated.  This package generates statistically
+equivalent synthetic workloads: per-device minute-resolution power traces
+with explicit off/standby/on mode structure, diurnal usage schedules,
+per-residence non-IID heterogeneity, seasonality and measurement noise.
+
+Public entry points
+-------------------
+- :class:`repro.data.devices.DeviceSpec` / :data:`repro.data.devices.DEVICE_CATALOG`
+- :class:`repro.data.residence.ResidenceProfile`
+- :func:`repro.data.generator.generate_neighborhood`
+- :class:`repro.data.dataset.NeighborhoodDataset`
+- :class:`repro.data.pricing.FixedRatePlan` / :class:`repro.data.pricing.VariableRatePlan`
+"""
+
+from repro.data.devices import DEVICE_CATALOG, DeviceSpec, get_device_spec
+from repro.data.residence import ResidenceProfile, make_profiles
+from repro.data.dataset import (
+    DeviceTrace,
+    ResidenceData,
+    NeighborhoodDataset,
+    train_test_split_trace,
+)
+from repro.data.generator import TraceGenerator, generate_neighborhood
+from repro.data.anomalies import corrupt_dataset, inject_dropout, inject_spikes, inject_stuck
+from repro.data.stats import WorkloadStats, characterize, schedule_divergence
+from repro.data.pricing import (
+    FixedRatePlan,
+    VariableRatePlan,
+    PricePlan,
+    default_fixed_plan,
+    default_variable_plan,
+)
+
+__all__ = [
+    "DEVICE_CATALOG",
+    "DeviceSpec",
+    "get_device_spec",
+    "ResidenceProfile",
+    "make_profiles",
+    "DeviceTrace",
+    "ResidenceData",
+    "NeighborhoodDataset",
+    "train_test_split_trace",
+    "TraceGenerator",
+    "generate_neighborhood",
+    "FixedRatePlan",
+    "VariableRatePlan",
+    "PricePlan",
+    "default_fixed_plan",
+    "default_variable_plan",
+    "WorkloadStats",
+    "characterize",
+    "schedule_divergence",
+    "corrupt_dataset",
+    "inject_dropout",
+    "inject_spikes",
+    "inject_stuck",
+]

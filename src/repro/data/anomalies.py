@@ -1,0 +1,114 @@
+"""Failure injection for robustness testing.
+
+Real smart-plug deployments see sensor dropouts (gaps reading 0),
+transient spikes, stuck values and clock-skewed duplicates.  These
+injectors corrupt a :class:`repro.data.dataset.DeviceTrace` (returning a
+modified copy — ground-truth ``mode`` stays intact so evaluation remains
+exact), letting tests and benches measure how gracefully the pipeline
+degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DeviceTrace, NeighborhoodDataset, ResidenceData
+from repro.rng import as_generator
+
+__all__ = ["inject_dropout", "inject_spikes", "inject_stuck", "corrupt_dataset"]
+
+
+def inject_dropout(
+    trace: DeviceTrace,
+    rate: float,
+    mean_gap_minutes: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> DeviceTrace:
+    """Zero out reading gaps covering ~``rate`` of the trace.
+
+    Gaps are contiguous (a dead sensor stays dead for a while), with
+    exponentially distributed lengths around *mean_gap_minutes*.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    rng = as_generator(seed)
+    power = trace.power_kw.copy()
+    n = power.shape[0]
+    target = int(rate * n)
+    dropped = 0
+    while dropped < target:
+        start = int(rng.integers(0, n))
+        length = max(1, int(rng.exponential(mean_gap_minutes)))
+        stop = min(n, start + length)
+        dropped += int(np.count_nonzero(power[start:stop]))
+        power[start:stop] = 0.0
+    return DeviceTrace(
+        device=trace.device, power_kw=power, mode=trace.mode.copy(),
+        on_kw=trace.on_kw, standby_kw=trace.standby_kw,
+    )
+
+
+def inject_spikes(
+    trace: DeviceTrace,
+    rate: float,
+    magnitude: float = 5.0,
+    seed: int | np.random.Generator | None = 0,
+) -> DeviceTrace:
+    """Multiply ~``rate`` of randomly chosen minutes by *magnitude*."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    if magnitude <= 0:
+        raise ValueError("magnitude must be > 0")
+    rng = as_generator(seed)
+    power = trace.power_kw.copy()
+    n = power.shape[0]
+    k = int(rate * n)
+    if k:
+        idx = rng.choice(n, size=k, replace=False)
+        power[idx] = np.maximum(power[idx], trace.on_kw) * magnitude
+    return DeviceTrace(
+        device=trace.device, power_kw=power, mode=trace.mode.copy(),
+        on_kw=trace.on_kw, standby_kw=trace.standby_kw,
+    )
+
+
+def inject_stuck(
+    trace: DeviceTrace,
+    start: int,
+    length: int,
+) -> DeviceTrace:
+    """Freeze the reading at ``power[start]`` for *length* minutes."""
+    if start < 0 or length < 1:
+        raise ValueError("need start >= 0 and length >= 1")
+    power = trace.power_kw.copy()
+    stop = min(power.shape[0], start + length)
+    if start < power.shape[0]:
+        power[start:stop] = power[start]
+    return DeviceTrace(
+        device=trace.device, power_kw=power, mode=trace.mode.copy(),
+        on_kw=trace.on_kw, standby_kw=trace.standby_kw,
+    )
+
+
+def corrupt_dataset(
+    dataset: NeighborhoodDataset,
+    dropout_rate: float = 0.0,
+    spike_rate: float = 0.0,
+    seed: int = 0,
+) -> NeighborhoodDataset:
+    """Apply dropout/spike injection to every trace (per-trace streams)."""
+    rng = as_generator(seed)
+    residences = []
+    for res in dataset.residences:
+        traces = {}
+        for dev, trace in res:
+            t = trace
+            if dropout_rate > 0:
+                t = inject_dropout(t, dropout_rate, seed=rng)
+            if spike_rate > 0:
+                t = inject_spikes(t, spike_rate, seed=rng)
+            traces[dev] = t
+        residences.append(ResidenceData(residence_id=res.residence_id, traces=traces))
+    return NeighborhoodDataset(
+        residences=residences, minutes_per_day=dataset.minutes_per_day, seed=dataset.seed
+    )

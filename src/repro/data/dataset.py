@@ -1,0 +1,192 @@
+"""Dataset containers for device-level minute-resolution traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.devices import MODE_OFF, MODE_ON, MODE_STANDBY
+
+__all__ = [
+    "DeviceTrace",
+    "ResidenceData",
+    "NeighborhoodDataset",
+    "train_test_split_trace",
+]
+
+
+@dataclass
+class DeviceTrace:
+    """One device's power trace.
+
+    Attributes
+    ----------
+    device:
+        Device-type name (catalog key).
+    power_kw:
+        Power reading per minute, shape ``(n_minutes,)``, in kW.
+    mode:
+        Ground-truth mode per minute (0=off, 1=standby, 2=on), same shape.
+    on_kw / standby_kw:
+        This residence's nominal on/standby power — the ``V_on`` / ``V_s``
+        reference values the paper's mode classifier needs.
+    """
+
+    device: str
+    power_kw: np.ndarray
+    mode: np.ndarray
+    on_kw: float
+    standby_kw: float
+
+    def __post_init__(self) -> None:
+        self.power_kw = np.asarray(self.power_kw, dtype=np.float64)
+        self.mode = np.asarray(self.mode, dtype=np.int8)
+        if self.power_kw.ndim != 1:
+            raise ValueError("power_kw must be 1-D")
+        if self.power_kw.shape != self.mode.shape:
+            raise ValueError("power_kw and mode must have the same shape")
+        if np.any(self.power_kw < 0):
+            raise ValueError("power must be non-negative")
+        bad = ~np.isin(self.mode, (MODE_OFF, MODE_STANDBY, MODE_ON))
+        if np.any(bad):
+            raise ValueError("mode must contain only {0, 1, 2}")
+
+    def __len__(self) -> int:
+        return int(self.power_kw.shape[0])
+
+    @property
+    def n_minutes(self) -> int:
+        return len(self)
+
+    def energy_kwh(self) -> float:
+        """Total energy in the trace (sum of kW-minutes / 60)."""
+        return float(self.power_kw.sum() / 60.0)
+
+    def standby_energy_kwh(self) -> float:
+        """Energy spent in standby mode — the paper's reduction target."""
+        return float(self.power_kw[self.mode == MODE_STANDBY].sum() / 60.0)
+
+    def slice(self, start: int, stop: int) -> "DeviceTrace":
+        """View of minutes [start, stop) as a new trace (no copy of scalars)."""
+        return DeviceTrace(
+            device=self.device,
+            power_kw=self.power_kw[start:stop],
+            mode=self.mode[start:stop],
+            on_kw=self.on_kw,
+            standby_kw=self.standby_kw,
+        )
+
+
+@dataclass
+class ResidenceData:
+    """All device traces for one residence."""
+
+    residence_id: int
+    traces: dict[str, DeviceTrace]
+
+    def __post_init__(self) -> None:
+        lengths = {len(t) for t in self.traces.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"traces have inconsistent lengths: {lengths}")
+
+    @property
+    def n_minutes(self) -> int:
+        if not self.traces:
+            return 0
+        return len(next(iter(self.traces.values())))
+
+    @property
+    def device_types(self) -> tuple[str, ...]:
+        return tuple(self.traces)
+
+    def __getitem__(self, device: str) -> DeviceTrace:
+        return self.traces[device]
+
+    def __iter__(self) -> Iterator[tuple[str, DeviceTrace]]:
+        return iter(self.traces.items())
+
+    def total_energy_kwh(self) -> float:
+        return sum(t.energy_kwh() for t in self.traces.values())
+
+    def total_standby_energy_kwh(self) -> float:
+        return sum(t.standby_energy_kwh() for t in self.traces.values())
+
+    def slice(self, start: int, stop: int) -> "ResidenceData":
+        return ResidenceData(
+            residence_id=self.residence_id,
+            traces={d: t.slice(start, stop) for d, t in self.traces.items()},
+        )
+
+
+@dataclass
+class NeighborhoodDataset:
+    """The full multi-residence dataset plus time metadata.
+
+    ``minute_of_day[t]`` and ``day_index[t]`` give calendar coordinates for
+    every sample index, shared by all residences.
+    """
+
+    residences: list[ResidenceData]
+    minutes_per_day: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        lengths = {r.n_minutes for r in self.residences}
+        if len(lengths) > 1:
+            raise ValueError(f"residences have inconsistent lengths: {lengths}")
+
+    @property
+    def n_residences(self) -> int:
+        return len(self.residences)
+
+    @property
+    def n_minutes(self) -> int:
+        return self.residences[0].n_minutes if self.residences else 0
+
+    @property
+    def n_days(self) -> float:
+        return self.n_minutes / self.minutes_per_day if self.minutes_per_day else 0.0
+
+    @property
+    def device_types(self) -> tuple[str, ...]:
+        return self.residences[0].device_types if self.residences else ()
+
+    def minute_of_day(self) -> np.ndarray:
+        return np.arange(self.n_minutes) % self.minutes_per_day
+
+    def hour_of_day(self) -> np.ndarray:
+        minutes_per_hour = max(1, self.minutes_per_day // 24)
+        return (self.minute_of_day() // minutes_per_hour) % 24
+
+    def day_index(self) -> np.ndarray:
+        return np.arange(self.n_minutes) // self.minutes_per_day
+
+    def __getitem__(self, residence_id: int) -> ResidenceData:
+        return self.residences[residence_id]
+
+    def slice_days(self, start_day: int, stop_day: int) -> "NeighborhoodDataset":
+        """Sub-dataset covering days [start_day, stop_day)."""
+        a = start_day * self.minutes_per_day
+        b = stop_day * self.minutes_per_day
+        return NeighborhoodDataset(
+            residences=[r.slice(a, b) for r in self.residences],
+            minutes_per_day=self.minutes_per_day,
+            seed=self.seed,
+        )
+
+
+def train_test_split_trace(
+    trace: DeviceTrace, train_fraction: float = 0.8
+) -> tuple[DeviceTrace, DeviceTrace]:
+    """Chronological 80/20 split per the paper's experiment settings.
+
+    Time-series data must be split chronologically (not shuffled) to avoid
+    leaking the future into the training set.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(round(len(trace) * train_fraction))
+    cut = min(max(cut, 1), len(trace) - 1)
+    return trace.slice(0, cut), trace.slice(cut, len(trace))

@@ -1,0 +1,267 @@
+"""Synthetic minute-resolution trace generator.
+
+Generates per-device power traces with the structure the paper's pipeline
+exploits:
+
+- **Mode structure** — every minute the device is off (0 kW), in standby
+  (``V_s`` ± <10%) or on (``V_on`` ± <10%), matching the paper's band-based
+  mode classifier (§3.3.1).
+- **Event-based usage** — schedule-driven devices turn on in daily
+  *events* anchored at the device's usage peaks (evening TV, meal-time
+  microwave, …) with per-day start/duration jitter and occasional skips.
+  Day-to-day structure is therefore highly learnable (real appliance
+  usage is; the paper reports 92% hourly accuracy) while remaining
+  stochastic.
+- **Standby waste** — outside events, devices sit in a per-day background
+  mode: standby with probability equal to the household's *standby
+  discipline* (the waste the EMS recovers), otherwise off; night hours can
+  force off for devices people unplug.
+- **Duty-cycled devices** — fridge/HVAC alternate on/standby in regular
+  compressor cycles whose duty follows the hour-of-day profile and a
+  seasonal factor (the seasonality drives the monthly monetary
+  experiment, Fig. 10).
+- **Non-IID heterogeneity** — all of the above parameterised by
+  :class:`repro.data.residence.ResidenceProfile`.
+
+Per-minute power is drawn inside the ±8% band around the nominal mode
+power so the paper's ±10% classification window always captures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DataConfig
+from repro.data.dataset import DeviceTrace, NeighborhoodDataset, ResidenceData
+from repro.data.devices import (
+    MODE_OFF,
+    MODE_ON,
+    MODE_STANDBY,
+    DeviceSpec,
+    get_device_spec,
+)
+from repro.data.residence import ResidenceProfile, make_profiles
+from repro.rng import hash_seed
+
+__all__ = ["TraceGenerator", "generate_neighborhood", "seasonal_factor"]
+
+#: Relative half-width of the power band around nominal mode power.  Kept
+#: strictly inside the paper's ±10% classification window.
+POWER_JITTER = 0.08
+
+
+def seasonal_factor(day_index: np.ndarray | float, device: str) -> np.ndarray | float:
+    """Seasonal usage multiplier for a device by day-of-year.
+
+    HVAC peaks in the Texas summer (day ~200); other devices get a mild
+    winter-evening bump.
+    """
+    d = np.asarray(day_index, dtype=float)
+    if device == "hvac":
+        out = 1.0 + 0.45 * np.cos(2.0 * np.pi * (d - 200.0) / 365.0)
+    else:
+        out = 1.0 + 0.10 * np.cos(2.0 * np.pi * (d - 10.0) / 365.0)
+    if np.isscalar(day_index):
+        return float(out)
+    return out
+
+
+@dataclass
+class TraceGenerator:
+    """Stateful generator bound to one :class:`DataConfig`."""
+
+    config: DataConfig
+    #: Start jitter (std, hours) of usage events — human routines drift by
+    #: roughly a quarter hour day to day.
+    event_jitter_hours: float = 0.25
+    #: Per-day probability of deviating from the household's background
+    #: standby/off habit.
+    habit_flip_prob: float = 0.05
+
+    # ------------------------------------------------------------------
+    def generate(self) -> NeighborhoodDataset:
+        """Generate the full neighborhood dataset for the bound config."""
+        cfg = self.config
+        profiles = make_profiles(
+            cfg.n_residences, cfg.device_types, cfg.heterogeneity, cfg.seed
+        )
+        residences = [self.generate_residence(p) for p in profiles]
+        return NeighborhoodDataset(
+            residences=residences, minutes_per_day=cfg.minutes_per_day, seed=cfg.seed
+        )
+
+    def generate_residence(self, profile: ResidenceProfile) -> ResidenceData:
+        """Generate all device traces for one residence."""
+        traces = {
+            dev: self.generate_device_trace(profile, dev)
+            for dev in profile.device_types
+        }
+        return ResidenceData(residence_id=profile.residence_id, traces=traces)
+
+    # ------------------------------------------------------------------
+    def generate_device_trace(
+        self, profile: ResidenceProfile, device: str
+    ) -> DeviceTrace:
+        """Generate one device's minute-resolution trace.
+
+        The random stream is addressed by ``(seed, residence, device)`` so
+        traces are stable under changes to the device mix elsewhere.
+        """
+        cfg = self.config
+        spec = get_device_spec(device)
+        rng = np.random.default_rng(
+            hash_seed(cfg.seed, "trace", profile.residence_id, device)
+        )
+        mpd = cfg.minutes_per_day
+        day_modes = [
+            self._day_modes(rng, spec, profile, device, cfg.start_day + day, mpd)
+            for day in range(cfg.n_days)
+        ]
+        modes = np.concatenate(day_modes)
+        power = self._modes_to_power(rng, profile, device, modes)
+        return DeviceTrace(
+            device=device,
+            power_kw=power,
+            mode=modes,
+            on_kw=profile.on_kw(device),
+            standby_kw=profile.standby_kw(device),
+        )
+
+    # ------------------------------------------------------------------
+    def _day_modes(
+        self,
+        rng: np.random.Generator,
+        spec: DeviceSpec,
+        profile: ResidenceProfile,
+        device: str,
+        day: int,
+        mpd: int,
+    ) -> np.ndarray:
+        if spec.always_on:
+            return self._duty_cycle_day(rng, spec, profile, device, day, mpd)
+        return self._event_day(rng, spec, profile, device, day, mpd)
+
+    def _event_day(
+        self,
+        rng: np.random.Generator,
+        spec: DeviceSpec,
+        profile: ResidenceProfile,
+        device: str,
+        day: int,
+        mpd: int,
+    ) -> np.ndarray:
+        """Scheduled device: background habit + jittered usage events."""
+        mph = mpd / 24.0  # minutes per simulated hour
+        season = float(seasonal_factor(day, device))
+
+        # Background habit: a persistent household trait (standby = waste,
+        # off = disciplined), with a small per-day deviation probability.
+        habitual = profile.background_standby.get(
+            device, profile.standby_discipline >= 0.5
+        )
+        if rng.random() < self.habit_flip_prob:
+            habitual = not habitual
+        background = MODE_STANDBY if habitual else MODE_OFF
+        modes = np.full(mpd, background, dtype=np.int8)
+        # Some devices get unplugged at night regardless of habit.
+        if rng.random() < spec.off_at_night_prob:
+            night = (np.arange(mpd) < 6 * mph) | (np.arange(mpd) >= 23 * mph)
+            modes[night] = MODE_OFF
+
+        jitter_min = self.event_jitter_hours * mph
+        for peak, width in zip(spec.usage_peaks, spec.usage_widths):
+            # Routine activities happen most days (TV most evenings, meals
+            # daily); usage_scale/intensity/season modulate the skip rate.
+            p_event = float(
+                np.clip(
+                    0.55 + 0.5 * spec.usage_scale * profile.usage_intensity * season,
+                    0.05,
+                    0.98,
+                )
+            )
+            if rng.random() >= p_event:
+                continue  # the household skips this activity today
+            start_h = (peak + profile.schedule_shift_hours) % 24.0
+            start = start_h * mph + rng.normal(0.0, jitter_min)
+            duration = max(
+                mph * 0.1, width * 1.6 * mph * float(rng.lognormal(0.0, 0.15))
+            )
+            a = int(np.clip(start, 0, mpd - 1))
+            b = int(np.clip(start + duration, a + 1, mpd))
+            modes[a:b] = MODE_ON
+        return modes
+
+    def _duty_cycle_day(
+        self,
+        rng: np.random.Generator,
+        spec: DeviceSpec,
+        profile: ResidenceProfile,
+        device: str,
+        day: int,
+        mpd: int,
+    ) -> np.ndarray:
+        """Always-on device: compressor-style on/standby cycling.
+
+        The duty (on-fraction) of each cycle tracks the hour-of-day usage
+        profile scaled by the seasonal factor; cycle phase gets a fresh
+        per-day jitter.
+        """
+        mph = mpd / 24.0
+        season = float(seasonal_factor(day, device))
+        cycle = max(4, int(round(mph / 3.0)))  # ~20-minute compressor cycle
+        minutes = np.arange(mpd)
+        hours = minutes / mph
+        duty = np.clip(
+            profile.usage_probability(device, hours) * season / max(spec.usage_scale, 1e-9)
+            * spec.usage_scale,
+            0.02,
+            0.95,
+        )
+        phase = rng.uniform(0, cycle)
+        pos_in_cycle = (minutes + phase) % cycle
+        on = pos_in_cycle < duty * cycle
+        modes = np.where(on, MODE_ON, MODE_STANDBY).astype(np.int8)
+        return modes
+
+    def _modes_to_power(
+        self,
+        rng: np.random.Generator,
+        profile: ResidenceProfile,
+        device: str,
+        minute_modes: np.ndarray,
+    ) -> np.ndarray:
+        """Per-minute power: nominal mode power with in-band jitter."""
+        cfg = self.config
+        on_kw = profile.on_kw(device)
+        standby_kw = profile.standby_kw(device)
+        floor = profile.sensor_floor(device)
+        nominal = np.choose(minute_modes, [0.0, standby_kw, on_kw])
+        jitter = rng.uniform(-POWER_JITTER, POWER_JITTER, size=minute_modes.shape)
+        noise = rng.normal(0.0, cfg.noise_std, size=minute_modes.shape)
+        # Multiplicative jitter keeps readings inside the ±10% mode band.
+        # Off minutes read the home's sensor floor (plus its own jitter)
+        # rather than exactly 0 — the measurement reality that makes the
+        # off/standby boundary home-specific.
+        power = nominal * (1.0 + jitter + noise * 0.25)
+        off = minute_modes == MODE_OFF
+        if floor > 0.0 and np.any(off):
+            power[off] = floor * (1.0 + jitter[off])
+        return np.clip(power, 0.0, None)
+
+
+def generate_neighborhood(config: DataConfig | None = None, **overrides) -> NeighborhoodDataset:
+    """One-call convenience: build a config (or override fields) and generate.
+
+    >>> ds = generate_neighborhood(n_residences=4, n_days=2, seed=7)
+    >>> ds.n_residences
+    4
+    """
+    if config is None:
+        config = DataConfig(**overrides)
+    elif overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    return TraceGenerator(config).generate()

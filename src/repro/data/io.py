@@ -1,0 +1,129 @@
+"""CSV / NPZ persistence for datasets.
+
+Pecan Street ships device-level CSVs (``dataid, localminute, device, kw``);
+we mirror that schema for CSV export so downstream tooling written against
+the real Dataport works unchanged, and provide a compact NPZ format for
+fast round-tripping inside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import DeviceTrace, NeighborhoodDataset, ResidenceData
+
+__all__ = ["save_npz", "load_npz", "export_csv", "import_csv"]
+
+
+def save_npz(dataset: NeighborhoodDataset, path: str | Path) -> None:
+    """Save a dataset to a single compressed ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {}
+    meta_rows: list[str] = []
+    for res in dataset.residences:
+        for dev, trace in res:
+            key = f"r{res.residence_id}__{dev}"
+            arrays[f"{key}__power"] = trace.power_kw
+            arrays[f"{key}__mode"] = trace.mode
+            meta_rows.append(
+                f"{res.residence_id},{dev},{trace.on_kw!r},{trace.standby_kw!r}"
+            )
+    arrays["__meta__"] = np.array(meta_rows)
+    arrays["__minutes_per_day__"] = np.array([dataset.minutes_per_day])
+    arrays["__seed__"] = np.array([dataset.seed])
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: str | Path) -> NeighborhoodDataset:
+    """Load a dataset saved by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        minutes_per_day = int(data["__minutes_per_day__"][0])
+        seed = int(data["__seed__"][0])
+        residences: dict[int, dict[str, DeviceTrace]] = {}
+        for row in data["__meta__"]:
+            rid_s, dev, on_s, standby_s = str(row).split(",")
+            rid = int(rid_s)
+            key = f"r{rid}__{dev}"
+            trace = DeviceTrace(
+                device=dev,
+                power_kw=data[f"{key}__power"],
+                mode=data[f"{key}__mode"],
+                on_kw=float(on_s),
+                standby_kw=float(standby_s),
+            )
+            residences.setdefault(rid, {})[dev] = trace
+    res_list = [
+        ResidenceData(residence_id=rid, traces=traces)
+        for rid, traces in sorted(residences.items())
+    ]
+    return NeighborhoodDataset(
+        residences=res_list, minutes_per_day=minutes_per_day, seed=seed
+    )
+
+
+def export_csv(dataset: NeighborhoodDataset, path: str | Path) -> int:
+    """Export in Pecan-Street-like long format; returns the row count.
+
+    Columns: ``dataid, minute, device, kw, mode`` — one row per
+    (residence, minute, device).
+    """
+    n_rows = 0
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["dataid", "minute", "device", "kw", "mode"])
+        for res in dataset.residences:
+            for dev, trace in res:
+                for t in range(len(trace)):
+                    writer.writerow(
+                        [res.residence_id, t, dev,
+                         f"{trace.power_kw[t]:.6f}", int(trace.mode[t])]
+                    )
+                    n_rows += 1
+    return n_rows
+
+
+def import_csv(
+    path: str | Path,
+    minutes_per_day: int,
+    device_nominals: dict[str, tuple[float, float]] | None = None,
+) -> NeighborhoodDataset:
+    """Import a long-format CSV produced by :func:`export_csv`.
+
+    ``device_nominals`` maps device name to ``(on_kw, standby_kw)``; when
+    omitted, nominals are estimated from the observed on/standby readings
+    (median of each mode's samples), which is what one would do with the
+    real Pecan Street data where nominals are not given.
+    """
+    rows: dict[tuple[int, str], list[tuple[int, float, int]]] = {}
+    with open(Path(path), newline="") as fh:
+        reader = csv.DictReader(fh)
+        for rec in reader:
+            key = (int(rec["dataid"]), rec["device"])
+            rows.setdefault(key, []).append(
+                (int(rec["minute"]), float(rec["kw"]), int(rec["mode"]))
+            )
+
+    residences: dict[int, dict[str, DeviceTrace]] = {}
+    for (rid, dev), samples in rows.items():
+        samples.sort(key=lambda s: s[0])
+        power = np.array([s[1] for s in samples])
+        mode = np.array([s[2] for s in samples], dtype=np.int8)
+        if device_nominals and dev in device_nominals:
+            on_kw, standby_kw = device_nominals[dev]
+        else:
+            on_vals = power[mode == 2]
+            sb_vals = power[mode == 1]
+            on_kw = float(np.median(on_vals)) if on_vals.size else float(power.max() or 1.0)
+            standby_kw = float(np.median(sb_vals)) if sb_vals.size else on_kw * 0.05
+        residences.setdefault(rid, {})[dev] = DeviceTrace(
+            device=dev, power_kw=power, mode=mode, on_kw=on_kw, standby_kw=standby_kw
+        )
+
+    res_list = [
+        ResidenceData(residence_id=rid, traces=traces)
+        for rid, traces in sorted(residences.items())
+    ]
+    return NeighborhoodDataset(residences=res_list, minutes_per_day=minutes_per_day)

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment module exposes ``run(profile=None, seed=0)`` returning an
+:class:`repro.experiments.harness.ExperimentResult` whose series mirror the
+paper's plot, plus shape predicates the benches assert.
+
+===================  =============================================
+Module               Paper artefact
+===================  =============================================
+``fig02_alpha``      Fig. 2 — saved energy vs shared layers α
+``fig03_beta``       Fig. 3 — DFL accuracy vs broadcast period β
+``fig04_gamma``      Fig. 4 — saved energy vs DRL broadcast period γ
+``fig05_cdf``        Fig. 5 — CDF of forecast accuracy, 4 models
+``fig06_hourly``     Fig. 6 — accuracy by hour of day
+``fig07_days``       Fig. 7 — accuracy vs training days
+``fig08_clients``    Fig. 8 — accuracy vs number of residences
+``fig09_methods``    Fig. 9 — saved energy/client vs days, 5 methods
+``fig10_monetary``   Fig. 10 — saved $ per month, fixed vs variable
+``fig11_hourly_savings`` Fig. 11 — saved energy by hour, 5 methods
+``fig12_personalization`` Fig. 12 — personalized vs not
+``fig13_forecast_time``  Fig. 13 — forecasting time overhead
+``fig14_ems_time``   Fig. 14 — EMS time overhead
+``table01_reward``   Table 1 — reward function
+``table02_methods``  Table 2 — method feature matrix
+``headline``         92% accuracy / 98% standby savings claims
+``ablations``        extra design-choice studies (topology, DQN, features)
+===================  =============================================
+"""
+
+from repro.experiments.harness import ExperimentResult, Series
+from repro.experiments.profiles import Profile, ems_profile, paper_profile, small_profile
+
+__all__ = ["ExperimentResult", "Series", "Profile", "small_profile", "ems_profile", "paper_profile"]

@@ -1,0 +1,202 @@
+"""Design-choice ablations beyond the paper's figures (DESIGN.md §5).
+
+- :func:`run_topology` — full mesh vs ring vs star for the DFL broadcast.
+- :func:`run_dqn` — replay capacity and target-update period sensitivity.
+- :func:`run_features` — time-feature harmonic count for the forecasters.
+- :func:`run_compression` — broadcast sparsification/quantisation vs accuracy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.experiments.common import prepare_streams, split_dataset, train_dfl, train_pfdrl
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, small_profile
+
+__all__ = ["run_topology", "run_dqn", "run_features", "run_compression", "run_agent_scope"]
+
+
+def run_topology(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """DFL accuracy and message volume under different broadcast graphs.
+
+    A full mesh reaches consensus every round; a ring only mixes with
+    two neighbours (slower information spread, far fewer messages); the
+    star is the classic FL wiring minus the server logic.
+    """
+    profile = profile or small_profile(seed)
+    ds, train, test, _ = split_dataset(profile)
+
+    topologies = ["full", "ring", "star"]
+    accs, msgs = [], []
+    for topo in topologies:
+        p = profile.with_federation(topology=topo)
+        dfl = train_dfl(p, train, seed=seed)
+        accs.append(dfl.mean_accuracy(test))
+        msgs.append(dfl.bus.stats.n_messages)
+
+    result = ExperimentResult(
+        name="ablation_topology",
+        description="DFL broadcast topology: accuracy vs message volume",
+        x_label="topology",
+        y_label="accuracy",
+    )
+    result.add_series("accuracy", topologies, accs)
+    result.add_series("n_messages", topologies, msgs)
+    result.notes["full_vs_ring_msgs"] = msgs[0] / max(1, msgs[1])
+    return result
+
+
+def run_dqn(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Replay capacity and target-replace period sensitivity of the EMS."""
+    profile = profile or small_profile(seed)
+    train_streams, test_streams, _ = prepare_streams(profile, seed=seed)
+
+    result = ExperimentResult(
+        name="ablation_dqn",
+        description="DQN replay capacity / target period sensitivity",
+        x_label="setting",
+        y_label="saved standby fraction",
+    )
+    capacities = [50, 200, profile.dqn.memory_capacity]
+    saved_cap = []
+    for cap in capacities:
+        p = profile.with_dqn(memory_capacity=cap)
+        tr = train_pfdrl(p, train_streams, seed=seed)
+        saved_cap.append(tr.evaluate(test_streams).saved_standby_fraction)
+    result.add_series("replay_capacity", capacities, saved_cap)
+
+    periods = [10, 100, 400]
+    saved_per = []
+    for per in periods:
+        p = profile.with_dqn(target_replace_iter=per)
+        tr = train_pfdrl(p, train_streams, seed=seed)
+        saved_per.append(tr.evaluate(test_streams).saved_standby_fraction)
+    result.add_series("target_period", periods, saved_per)
+    result.notes["best_capacity"] = result["replay_capacity"].argmax_x()
+    result.notes["best_period"] = result["target_period"].argmax_x()
+    return result
+
+
+def run_features(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Forecast accuracy vs number of time-feature harmonics (incl. none)."""
+    profile = profile or small_profile(seed)
+    ds, train, test, _ = split_dataset(profile)
+
+    settings: list[tuple[str, dict]] = [
+        ("none", dict(time_features=False)),
+        ("K=1", dict(time_harmonics=1)),
+        ("K=4", dict(time_harmonics=4)),
+        ("K=8", dict(time_harmonics=8)),
+    ]
+    labels, accs = [], []
+    for label, kw in settings:
+        p = profile.with_forecast(**kw)
+        dfl = train_dfl(p, train, seed=seed)
+        labels.append(label)
+        accs.append(dfl.mean_accuracy(test))
+
+    result = ExperimentResult(
+        name="ablation_features",
+        description="Forecast accuracy vs time-feature harmonics",
+        x_label="harmonics",
+        y_label="accuracy",
+    )
+    result.add_series("accuracy", labels, accs)
+    result.notes["best"] = result["accuracy"].argmax_x()
+    result.notes["gain_over_none"] = max(accs) - accs[0]
+    return result
+
+
+def run_compression(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Broadcast compression: accuracy vs bytes on the wire.
+
+    Layer selection (the paper's α) is one way to cut broadcast volume;
+    top-k sparsification and 8-bit quantisation are the composable next
+    steps a deployment would reach for.
+    """
+    from repro.federated.compression import TopKSparsifier, UniformQuantizer
+    from repro.federated.dfl import DFLTrainer
+
+    profile = profile or small_profile(seed)
+    ds, train, test, _ = split_dataset(profile)
+
+    settings = [
+        ("raw", None),
+        ("topk_25", TopKSparsifier(0.25)),
+        ("quant_8bit", UniformQuantizer(8)),
+        ("quant_4bit", UniformQuantizer(4)),
+    ]
+    labels, accs, wire_bytes = [], [], []
+    for label, compressor in settings:
+        trainer = DFLTrainer(
+            train,
+            forecast_config=profile.forecast,
+            federation_config=profile.federation,
+            mode="decentralized",
+            seed=seed,
+            compressor=compressor,
+        )
+        trainer.run(int(train.n_days))
+        labels.append(label)
+        accs.append(trainer.mean_accuracy(test))
+        raw = trainer.bus.stats.n_tx_params * 8
+        wire_bytes.append(trainer.compressed_bytes if compressor else raw)
+
+    result = ExperimentResult(
+        name="ablation_compression",
+        description="Broadcast compression: accuracy vs wire bytes",
+        x_label="compressor",
+        y_label="accuracy",
+    )
+    result.add_series("accuracy", labels, accs)
+    result.add_series("wire_bytes", labels, wire_bytes)
+    result.notes["bytes_saved_quant8"] = 1.0 - wire_bytes[2] / max(1, wire_bytes[0])
+    result.notes["acc_drop_quant8"] = accs[0] - accs[2]
+    return result
+
+
+def run_agent_scope(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Agent granularity: one DQN per residence vs one per (home, device).
+
+    The paper's wording supports either reading; per-residence agents
+    amortise experience across devices (the device type travels in the
+    state), per-device agents get cleaner tasks but less data each and a
+    proportionally larger broadcast bill.
+    """
+    from repro.core.pfdrl import PFDRLTrainer
+
+    profile = profile or small_profile(seed)
+    train_streams, test_streams, _ = prepare_streams(profile, seed=seed)
+
+    labels, saved, params = [], [], []
+    for scope in ("residence", "device"):
+        trainer = PFDRLTrainer(
+            train_streams,
+            dqn_config=profile.dqn,
+            federation_config=profile.federation,
+            sharing="personalized",
+            agent_scope=scope,
+            seed=seed,
+        )
+        n_days = max(1, train_streams[0].n_minutes // train_streams[0].minutes_per_day)
+        for _ in range(profile.episodes):
+            trainer.rewind()
+            trainer.run(n_days)
+        trainer.finalize()
+        labels.append(scope)
+        saved.append(trainer.evaluate(test_streams).saved_standby_fraction)
+        params.append(trainer._params_broadcast)
+
+    result = ExperimentResult(
+        name="ablation_agent_scope",
+        description="Agent granularity: per-residence vs per-device DQNs",
+        x_label="scope",
+        y_label="saved standby fraction",
+    )
+    result.add_series("saved_standby", labels, saved)
+    result.add_series("params_broadcast", labels, params)
+    result.notes["broadcast_ratio"] = params[1] / max(1, params[0])
+    return result

@@ -1,0 +1,126 @@
+"""Shared machinery for experiment modules."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import FederationConfig, ForecastConfig
+from repro.core.pfdrl import PFDRLTrainer
+from repro.core.streams import ResidenceStream, build_streams
+from repro.data.dataset import NeighborhoodDataset
+from repro.data.generator import generate_neighborhood
+from repro.experiments.profiles import Profile
+from repro.federated.dfl import DFLTrainer
+
+__all__ = [
+    "split_dataset",
+    "train_dfl",
+    "prepare_streams",
+    "train_pfdrl",
+    "hour_bucket_mean",
+]
+
+
+def split_dataset(
+    profile: Profile, dataset: NeighborhoodDataset | None = None
+) -> tuple[NeighborhoodDataset, NeighborhoodDataset, NeighborhoodDataset, int]:
+    """Generate (or accept) a dataset and split it chronologically.
+
+    Returns (full, train, test, n_train_days).
+    """
+    ds = dataset or generate_neighborhood(profile.data)
+    total = int(ds.n_days)
+    n_train = max(1, min(total - 1, round(total * profile.data.train_fraction))) if total > 1 else 1
+    train = ds.slice_days(0, n_train)
+    test = ds.slice_days(n_train, total) if total > n_train else train
+    return ds, train, test, n_train
+
+
+def train_dfl(
+    profile: Profile,
+    train: NeighborhoodDataset,
+    model: str | None = None,
+    mode: str = "decentralized",
+    beta_hours: float | None = None,
+    n_days: int | None = None,
+    seed: int = 0,
+) -> DFLTrainer:
+    """Train a DFL forecaster stack per the profile (optionally overridden)."""
+    fc = profile.forecast
+    if model is not None:
+        fc = dataclasses.replace(fc, model=model)
+    fed = profile.federation
+    if beta_hours is not None:
+        fed = dataclasses.replace(fed, beta_hours=beta_hours)
+    trainer = DFLTrainer(
+        train, forecast_config=fc, federation_config=fed, mode=mode, seed=seed
+    )
+    trainer.run(n_days if n_days is not None else int(train.n_days))
+    return trainer
+
+
+def prepare_streams(
+    profile: Profile,
+    dataset: NeighborhoodDataset | None = None,
+    forecast_mode: str = "decentralized",
+    seed: int = 0,
+) -> tuple[list[ResidenceStream], list[ResidenceStream], DFLTrainer]:
+    """Full forecasting stage -> (train_streams, test_streams, dfl)."""
+    ds, train, test, n_train = split_dataset(profile, dataset)
+    dfl = train_dfl(profile, train, mode=forecast_mode, seed=seed)
+    train_streams = build_streams(train, dfl, t0=0)
+    test_streams = build_streams(test, dfl, t0=n_train * ds.minutes_per_day)
+    return train_streams, test_streams, dfl
+
+
+def train_pfdrl(
+    profile: Profile,
+    train_streams: list[ResidenceStream],
+    sharing: str = "personalized",
+    alpha: int | None = None,
+    gamma_hours: float | None = None,
+    episodes: int | None = None,
+    seed: int = 0,
+) -> PFDRLTrainer:
+    """Train the EMS stage per the profile (optionally overridden)."""
+    fed = profile.federation
+    if alpha is not None:
+        fed = dataclasses.replace(fed, alpha=alpha)
+    if gamma_hours is not None:
+        fed = dataclasses.replace(fed, gamma_hours=gamma_hours)
+    trainer = PFDRLTrainer(
+        train_streams,
+        dqn_config=profile.dqn,
+        federation_config=fed,
+        sharing=sharing,
+        seed=seed,
+    )
+    n_days = max(1, train_streams[0].n_minutes // train_streams[0].minutes_per_day)
+    for _ in range(episodes if episodes is not None else profile.episodes):
+        trainer.rewind()
+        trainer.run(n_days)
+    trainer.finalize()  # deploy the shared model (global / merged-base)
+    return trainer
+
+
+def hour_bucket_mean(
+    values: np.ndarray, offsets: np.ndarray, minutes_per_day: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average *values* into 24 hour-of-day buckets keyed by *offsets*.
+
+    Returns (hours 0..23, means) with NaN for empty buckets.
+    """
+    values = np.asarray(values, dtype=float)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if values.shape != offsets.shape:
+        raise ValueError("values and offsets must align")
+    mph = max(1, minutes_per_day // 24)
+    hours = (offsets % minutes_per_day) // mph
+    out = np.full(24, np.nan)
+    for h in range(24):
+        mask = hours == h
+        if mask.any():
+            out[h] = float(values[mask].mean())
+    return np.arange(24), out

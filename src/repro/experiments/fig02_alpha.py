@@ -1,0 +1,49 @@
+"""Fig. 2 — saved standby energy vs number of shared layers α.
+
+The paper sweeps α ∈ {1..8} over the 8 hidden layers of the DQN and
+finds α = 6 best: sharing most of the network accelerates collaborative
+learning, while keeping the last layers personal preserves each home's
+decision boundary.  Both extremes lose — α small ≈ local-only training
+(slow), α = 8 ≈ a fully global policy (no personal head).
+
+One dataset and one forecasting stage are shared across the sweep so the
+only difference between points is α.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import prepare_streams, train_pfdrl
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, ems_profile
+
+__all__ = ["run", "ALPHAS"]
+
+ALPHAS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+def run(
+    profile: Profile | None = None,
+    seed: int = 0,
+    alphas: tuple[int, ...] = ALPHAS,
+) -> ExperimentResult:
+    """Sweep α and measure held-out saved-standby energy (Fig. 2)."""
+    profile = profile or ems_profile(seed)
+    train_streams, test_streams, _dfl = prepare_streams(profile, seed=seed)
+
+    saved = []
+    for alpha in alphas:
+        trainer = train_pfdrl(
+            profile, train_streams, sharing="personalized", alpha=alpha, seed=seed
+        )
+        saved.append(trainer.evaluate(test_streams).saved_standby_fraction)
+
+    result = ExperimentResult(
+        name="fig02_alpha",
+        description="Saved standby energy vs shared base layers alpha (paper best: 6)",
+        x_label="alpha",
+        y_label="saved standby fraction",
+    )
+    s = result.add_series("saved_standby", list(alphas), saved)
+    result.notes["best_alpha"] = s.argmax_x()
+    result.notes["best_saved"] = max(saved)
+    return result

@@ -1,0 +1,52 @@
+"""Fig. 8 — prediction accuracy vs number of participating residences.
+
+The paper (365 training days) sees accuracy improve with cohort size up
+to ~100 residences, then *drop*: averaging one global model per device
+over ever more heterogeneous load patterns starts to hurt individual
+homes.  We sweep cohort sizes at fixed heterogeneity; the rise comes
+from more data per aggregation, the eventual decline from non-IID drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generator import generate_neighborhood
+from repro.experiments.common import train_dfl
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, small_profile
+
+__all__ = ["run", "DEFAULT_CLIENT_COUNTS"]
+
+DEFAULT_CLIENT_COUNTS = (2, 4, 8, 16)
+
+
+def run(
+    profile: Profile | None = None,
+    seed: int = 0,
+    client_counts: tuple[int, ...] = DEFAULT_CLIENT_COUNTS,
+) -> ExperimentResult:
+    """Sweep the cohort size and measure forecast accuracy (Fig. 8)."""
+    profile = profile or small_profile(seed)
+
+    result = ExperimentResult(
+        name="fig08_clients",
+        description="Prediction accuracy vs number of residences (rise then drop)",
+        x_label="n_clients",
+        y_label="accuracy",
+    )
+    for model in profile.forecast_models:
+        accs = []
+        for n in client_counts:
+            p = profile.with_data(n_residences=n)
+            ds = generate_neighborhood(p.data)
+            total = int(ds.n_days)
+            n_train = max(1, round(total * p.data.train_fraction))
+            n_train = min(n_train, total - 1) if total > 1 else 1
+            train = ds.slice_days(0, n_train)
+            test = ds.slice_days(n_train, total)
+            dfl = train_dfl(p, train, model=model, seed=seed)
+            accs.append(dfl.mean_accuracy(test))
+        result.add_series(model, list(client_counts), accs)
+        result.notes[f"best_n_{model}"] = result[model].argmax_x()
+    return result

@@ -1,0 +1,47 @@
+"""Fig. 11 — saved energy per residence at different times of day.
+
+The paper shows savings minimal around 2-4 AM (total load is lowest)
+and maximal in the active evening block, with the method ordering of
+Fig. 9 (Cloud ≈ FL ≈ FRL < Local ≈ PFDRL) holding hour by hour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import METHODS, run_method
+from repro.data.generator import generate_neighborhood
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, ems_profile
+
+__all__ = ["run"]
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Bucket each method's saved energy by hour of day (Fig. 11)."""
+    profile = profile or ems_profile(seed)
+    config = profile.pfdrl_config()
+    dataset = generate_neighborhood(config.data)
+    mpd = config.data.minutes_per_day
+    mph = max(1, mpd // 24)
+
+    result = ExperimentResult(
+        name="fig11_hourly_savings",
+        description="Saved energy per client by hour of day, five methods",
+        x_label="hour",
+        y_label="saved kWh per client per hour",
+    )
+    for name in METHODS:
+        r = run_method(name, config, dataset)
+        saved_kw = r.ems.saved_kw  # (n_res, n_minutes)
+        minutes = np.arange(saved_kw.shape[1])
+        hour = (minutes % mpd) // mph
+        hourly = np.zeros(24)
+        n_days = max(1, saved_kw.shape[1] // mpd)
+        for h in range(24):
+            mask = hour == h
+            # kWh per client per (real) hour of day, averaged over days.
+            hourly[h] = saved_kw[:, mask].mean(axis=0).sum() / 60.0 / n_days
+        result.add_series(name, list(range(24)), list(hourly))
+        result.notes[f"total_{name}"] = float(hourly.sum())
+    return result

@@ -1,0 +1,49 @@
+"""Fig. 13 — load-forecasting time overhead (training + testing).
+
+The paper reports all four models in the same few-minute band
+(LR ≈ SVM ≈ BP ≈ LSTM) on its GPU testbed.  On a pure-numpy substrate
+absolute times differ (the LSTM's sequential BPTT is the slow one), so
+alongside wall-clock we report hardware-independent *work units*
+(parameter counts); EXPERIMENTS.md discusses the deviation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import split_dataset, train_dfl
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, small_profile
+
+__all__ = ["run"]
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Time each forecaster's training and testing (Fig. 13)."""
+    profile = profile or small_profile(seed)
+    ds, train, test, _ = split_dataset(profile)
+
+    models = list(profile.forecast_models)
+    train_secs, test_secs, params = [], [], []
+    for model in models:
+        t0 = time.perf_counter()
+        dfl = train_dfl(profile, train, model=model, seed=seed)
+        train_secs.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        dfl.mean_accuracy(test)
+        test_secs.append(time.perf_counter() - t0)
+        params.append(
+            sum(f.n_parameters() for f in dfl.clients[0].forecasters.values())
+        )
+
+    result = ExperimentResult(
+        name="fig13_forecast_time",
+        description="Load forecasting time overhead per model (train/test)",
+        x_label="model",
+        y_label="seconds",
+    )
+    result.add_series("train_seconds", models, train_secs)
+    result.add_series("test_seconds", models, test_secs)
+    result.add_series("model_params", models, params)
+    result.notes["slowest"] = models[train_secs.index(max(train_secs))]
+    return result

@@ -1,0 +1,52 @@
+"""Fig. 14 — energy-management time overhead, five methods.
+
+The paper's ordering: PFDRL < FL ≈ Cloud ≈ Local < FRL, explained by
+broadcast volume — FRL federates *both* stages with full models (most
+parameters on the wire), while PFDRL's α-layer selection broadcasts the
+least among the sharing methods.
+
+We report measured wall-clock (train/test) plus the decisive
+hardware-independent quantity: total parameters broadcast.  The bench
+asserts the communication ordering (Local=0 < PFDRL < FRL).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import METHODS, run_method
+from repro.data.generator import generate_neighborhood
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, ems_profile
+
+__all__ = ["run"]
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Measure each method's time and broadcast overhead (Fig. 14)."""
+    profile = profile or ems_profile(seed)
+    config = profile.pfdrl_config()
+    dataset = generate_neighborhood(config.data)
+
+    methods = list(METHODS)
+    train_secs, test_secs, params, data_up = [], [], [], []
+    for name in methods:
+        r = run_method(name, config, dataset)
+        train_secs.append(r.train_seconds)
+        test_secs.append(r.test_seconds)
+        params.append(r.params_broadcast)
+        data_up.append(r.data_bytes_uploaded)
+
+    result = ExperimentResult(
+        name="fig14_ems_time",
+        description="EMS time overhead per method (paper: PFDRL<FL~Cloud~Local<FRL)",
+        x_label="method",
+        y_label="seconds",
+    )
+    result.add_series("train_seconds", methods, train_secs)
+    result.add_series("test_seconds", methods, test_secs)
+    result.add_series("params_broadcast", methods, params)
+    result.add_series("data_bytes_uploaded", methods, data_up)
+    by_params = dict(zip(methods, params))
+    result.notes["params_local"] = by_params["local"]
+    result.notes["params_pfdrl"] = by_params["pfdrl"]
+    result.notes["params_frl"] = by_params["frl"]
+    return result

@@ -1,0 +1,90 @@
+"""Result containers and text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: aligned x and y sequences."""
+
+    label: str
+    x: list
+    y: list
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x/y length mismatch")
+
+    def argmax_x(self):
+        """x position of the best y value."""
+        return self.x[int(np.nanargmax(np.asarray(self.y, dtype=float)))]
+
+    def y_at(self, x_value) -> float:
+        return float(self.y[self.x.index(x_value)])
+
+    def is_nondecreasing(self, tol: float = 0.0) -> bool:
+        y = np.asarray(self.y, dtype=float)
+        return bool(np.all(np.diff(y) >= -tol))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced.
+
+    ``series`` maps curve label -> :class:`Series`; ``notes`` carries
+    scalar findings (chosen hyperparameter, headline numbers) that the
+    benches assert and EXPERIMENTS.md reports.
+    """
+
+    name: str
+    description: str
+    x_label: str
+    y_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def add_series(self, label: str, x: Sequence, y: Sequence) -> Series:
+        s = Series(label, list(x), list(y))
+        self.series[label] = s
+        return s
+
+    def __getitem__(self, label: str) -> Series:
+        return self.series[label]
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Aligned text table: x column plus one column per series."""
+        labels = list(self.series)
+        if not labels:
+            return f"{self.name}: (no series)"
+        xs = self.series[labels[0]].x
+        header = [self.x_label, *labels]
+        rows = [header]
+        for i, x in enumerate(xs):
+            row = [_fmt(x)]
+            for label in labels:
+                s = self.series[label]
+                row.append(_fmt(s.y[i]) if i < len(s.y) else "-")
+            rows.append(row)
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        lines = [f"# {self.name}: {self.description}"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("notes: " + ", ".join(f"{k}={_fmt(v)}" for k, v in self.notes.items()))
+        return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,42 @@
+"""Headline claims — 92% load-forecast accuracy, 98% of standby energy
+saved per day.
+
+Runs the full PFDRL pipeline at the given profile and reports both
+numbers.  At bench scale the claim is directional (high accuracy, the
+large majority of standby energy recovered); the paper-profile run is
+what targets the absolute values.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import PFDRLSystem
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, small_profile
+
+__all__ = ["run"]
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Run the full pipeline and report the two headline numbers."""
+    profile = profile or small_profile(seed)
+    system = PFDRLSystem(profile.pfdrl_config())
+    res = system.run()
+
+    result = ExperimentResult(
+        name="headline",
+        description="Headline claims: 92% forecast accuracy, 98% standby energy saved",
+        x_label="metric",
+        y_label="value",
+    )
+    result.add_series(
+        "measured",
+        ["forecast_accuracy", "saved_standby_fraction"],
+        [res.forecast_accuracy, res.ems.saved_standby_fraction],
+    )
+    result.add_series(
+        "paper", ["forecast_accuracy", "saved_standby_fraction"], [0.92, 0.98]
+    )
+    result.notes["forecast_accuracy"] = res.forecast_accuracy
+    result.notes["saved_standby_fraction"] = res.ems.saved_standby_fraction
+    result.notes["comfort_violations"] = float(res.ems.comfort_violations.sum())
+    return result

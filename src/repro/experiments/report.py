@@ -1,0 +1,102 @@
+"""Run experiments in bulk and render a consolidated text report.
+
+Used by the CLI (``python -m repro report``) and importable directly:
+
+>>> from repro.experiments.report import EXPERIMENTS, run_report
+>>> text = run_report(["table01_reward"])        # doctest: +ELLIPSIS
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig02_alpha,
+    fig03_beta,
+    fig04_gamma,
+    fig05_cdf,
+    fig06_hourly,
+    fig07_days,
+    fig08_clients,
+    fig09_methods,
+    fig10_monetary,
+    fig11_hourly_savings,
+    fig12_personalization,
+    fig13_forecast_time,
+    fig14_ems_time,
+    headline,
+    table01_reward,
+    table02_methods,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile
+
+__all__ = ["EXPERIMENTS", "run_report", "run_experiment"]
+
+#: Name -> run callable for everything the report can regenerate.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig02_alpha": fig02_alpha.run,
+    "fig03_beta": fig03_beta.run,
+    "fig04_gamma": fig04_gamma.run,
+    "fig05_cdf": fig05_cdf.run,
+    "fig06_hourly": fig06_hourly.run,
+    "fig07_days": fig07_days.run,
+    "fig08_clients": fig08_clients.run,
+    "fig09_methods": fig09_methods.run,
+    "fig10_monetary": fig10_monetary.run,
+    "fig11_hourly_savings": fig11_hourly_savings.run,
+    "fig12_personalization": fig12_personalization.run,
+    "fig13_forecast_time": fig13_forecast_time.run,
+    "fig14_ems_time": fig14_ems_time.run,
+    "table01_reward": table01_reward.run,
+    "table02_methods": table02_methods.run,
+    "headline": headline.run,
+    "ablation_topology": ablations.run_topology,
+    "ablation_dqn": ablations.run_dqn,
+    "ablation_features": ablations.run_features,
+    "ablation_compression": ablations.run_compression,
+    "ablation_agent_scope": ablations.run_agent_scope,
+}
+
+#: The cheap subset used as the default report (seconds, not minutes).
+QUICK = (
+    "table01_reward",
+    "table02_methods",
+    "fig05_cdf",
+    "fig06_hourly",
+    "fig07_days",
+    "ablation_topology",
+    "ablation_features",
+)
+
+
+def run_experiment(
+    name: str, profile: Profile | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by name."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return fn(profile, seed)
+
+
+def run_report(
+    names: list[str] | None = None,
+    profile: Profile | None = None,
+    seed: int = 0,
+) -> str:
+    """Run *names* (default: the quick subset) and render one report."""
+    names = list(names) if names else list(QUICK)
+    sections = ["PFDRL reproduction report", "=" * 26, ""]
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, profile, seed)
+        elapsed = time.perf_counter() - t0
+        sections.append(result.to_text())
+        sections.append(f"({elapsed:.1f}s)")
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,48 @@
+"""Table 1 — the reward function, regenerated from the implementation.
+
+A definitional experiment: renders the exact (ground-truth mode, action)
+-> reward mapping from :data:`repro.rl.reward.REWARD_MATRIX` in the
+paper's row order, so any drift between code and paper is caught.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile
+from repro.rl.modes import MODE_NAMES
+from repro.rl.reward import REWARD_MATRIX, reward
+
+__all__ = ["run", "PAPER_ROWS"]
+
+#: (ground truth, action, reward) in the paper's printed order.
+PAPER_ROWS = (
+    ("on", "on", 10.0),
+    ("on", "standby", -10.0),
+    ("on", "off", -30.0),
+    ("standby", "on", -10.0),
+    ("standby", "standby", 10.0),
+    ("standby", "off", 30.0),
+    ("off", "on", -30.0),
+    ("off", "standby", -10.0),
+    ("off", "off", 10.0),
+)
+
+_NAME_TO_MODE = {v: k for k, v in MODE_NAMES.items()}
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 1 from the implemented reward matrix."""
+    result = ExperimentResult(
+        name="table01_reward",
+        description="Reward function (Table 1), regenerated from REWARD_MATRIX",
+        x_label="truth/action",
+        y_label="reward",
+    )
+    labels = [f"{t}/{a}" for t, a, _ in PAPER_ROWS]
+    values = [reward(_NAME_TO_MODE[t], _NAME_TO_MODE[a]) for t, a, _ in PAPER_ROWS]
+    expected = [r for _, _, r in PAPER_ROWS]
+    result.add_series("reward", labels, values)
+    result.add_series("paper", labels, list(expected))
+    result.notes["matches_paper"] = values == list(expected)
+    result.notes["standby_kill_bonus"] = float(REWARD_MATRIX[1, 0])
+    return result

@@ -1,0 +1,47 @@
+"""Table 2 — the qualitative method feature matrix, regenerated.
+
+Renders the Local / Cloud / FL / FRL / PFDRL feature flags from
+:data:`repro.baselines.common.METHODS` and checks the paper's pattern:
+only PFDRL carries all five properties.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import METHODS, method_table
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile
+
+__all__ = ["run"]
+
+FLAGS = (
+    "local_area",
+    "data_privacy",
+    "small_batch_training",
+    "sharing_ems",
+    "personalization",
+)
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 2 from the method registry."""
+    result = ExperimentResult(
+        name="table02_methods",
+        description="Comparison-method feature matrix (Table 2)",
+        x_label="method",
+        y_label="flags",
+    )
+    methods = list(METHODS)
+    for flag in FLAGS:
+        result.add_series(
+            flag, methods, [int(getattr(METHODS[m], flag)) for m in methods]
+        )
+    result.notes["pfdrl_has_all"] = all(
+        getattr(METHODS["pfdrl"], f) for f in FLAGS
+    )
+    result.notes["others_missing_some"] = all(
+        not all(getattr(METHODS[m], f) for f in FLAGS)
+        for m in methods
+        if m != "pfdrl"
+    )
+    result.notes["rendered"] = "\n" + method_table()
+    return result

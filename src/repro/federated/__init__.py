@@ -1,0 +1,42 @@
+"""Decentralized federated learning substrate (paper §3.2).
+
+- :mod:`repro.federated.topology` — who broadcasts to whom (full mesh by
+  default; ring/star for ablations).
+- :mod:`repro.federated.transport` — simulated in-process message bus
+  with per-message byte/parameter accounting (the communication-cost
+  numbers behind Figs. 13-14).
+- :mod:`repro.federated.aggregation` — FedAvg (Eq. 2) and the α-layer
+  partial aggregation (Eq. 7).
+- :mod:`repro.federated.scheduler` — β/γ hour-period broadcast schedules.
+- :mod:`repro.federated.dfl` — Algorithm 1: decentralized federated load
+  forecasting.
+- :mod:`repro.federated.server` — the centralized cloud aggregator used
+  by the FL/FRL baselines (Table 2).
+"""
+
+from repro.federated.topology import Topology, make_topology
+from repro.federated.transport import Message, MessageBus, TransportStats
+from repro.federated.aggregation import (
+    aggregate_full,
+    aggregate_partial,
+    split_base_personal,
+)
+from repro.federated.scheduler import BroadcastScheduler
+from repro.federated.dfl import DFLClient, DFLTrainer, DFLRoundResult
+from repro.federated.server import CentralServer
+
+__all__ = [
+    "Topology",
+    "make_topology",
+    "Message",
+    "MessageBus",
+    "TransportStats",
+    "aggregate_full",
+    "aggregate_partial",
+    "split_base_personal",
+    "BroadcastScheduler",
+    "DFLClient",
+    "DFLTrainer",
+    "DFLRoundResult",
+    "CentralServer",
+]

@@ -1,0 +1,120 @@
+"""Privacy analysis utilities — quantifying what broadcasts leak.
+
+The paper's central motivation is that cloud-aggregated training "remains
+vulnerable to training data recreation attacks by model inversion"
+(citing Geiping et al.).  This module makes that concrete for the models
+in this library, and provides the standard mitigation knob:
+
+- :func:`rank1_input_reconstruction` — the classic gradient-inversion
+  primitive: a linear layer's single-example gradient is the rank-1
+  outer product ``x · δᵀ``, so the input ``x`` is recoverable (up to
+  scale) as the top left-singular vector of the weight delta.  This is
+  exactly what a malicious aggregator can run on per-client updates.
+- :func:`reconstruction_similarity` — |cosine| between the recovered and
+  true inputs (1.0 = perfect leak).
+- :func:`gaussian_mechanism` — additive Gaussian noise on a weight list
+  (the DP-style mitigation), plus :func:`clip_then_noise` implementing
+  the usual clip-to-norm + noise recipe.
+
+The accompanying tests demonstrate the attack succeeding on raw updates
+and degrading under the mechanism — the quantitative version of the
+paper's Table 2 "Data Privacy" column.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.rng import as_generator
+
+__all__ = [
+    "rank1_input_reconstruction",
+    "reconstruction_similarity",
+    "gaussian_mechanism",
+    "clip_then_noise",
+    "leakage_of_update",
+]
+
+
+def rank1_input_reconstruction(weight_delta: np.ndarray) -> np.ndarray:
+    """Recover the (scale-normalised) input behind a rank-1 weight update.
+
+    For a linear map ``y = xᵀW`` trained by one gradient step on one
+    example, ``ΔW ∝ x δᵀ``; the top left-singular vector of ``ΔW`` is
+    ``x / ‖x‖`` (up to sign).  Works approximately for small batches,
+    which is why federated updates leak.
+    """
+    delta = np.asarray(weight_delta, dtype=np.float64)
+    if delta.ndim != 2:
+        raise ValueError("weight_delta must be a 2-D array")
+    u, s, _vt = np.linalg.svd(delta, full_matrices=False)
+    x_hat = u[:, 0]
+    # Canonical sign: make the largest-magnitude component positive.
+    i = int(np.argmax(np.abs(x_hat)))
+    if x_hat[i] < 0:
+        x_hat = -x_hat
+    return x_hat
+
+
+def reconstruction_similarity(x_true: np.ndarray, x_hat: np.ndarray) -> float:
+    """|cosine similarity| between the true input and the reconstruction."""
+    x_true = np.asarray(x_true, dtype=np.float64).ravel()
+    x_hat = np.asarray(x_hat, dtype=np.float64).ravel()
+    if x_true.shape != x_hat.shape:
+        raise ValueError("inputs must align")
+    denom = np.linalg.norm(x_true) * np.linalg.norm(x_hat)
+    if denom == 0:
+        return 0.0
+    return float(abs(x_true @ x_hat) / denom)
+
+
+def gaussian_mechanism(
+    weights: Sequence[np.ndarray],
+    noise_std: float,
+    seed: int | np.random.Generator | None = 0,
+) -> list[np.ndarray]:
+    """Additive isotropic Gaussian noise on every array (DP-style)."""
+    if noise_std < 0:
+        raise ValueError("noise_std must be >= 0")
+    rng = as_generator(seed)
+    return [
+        np.asarray(w, dtype=np.float64) + rng.normal(0.0, noise_std, size=np.shape(w))
+        for w in weights
+    ]
+
+
+def clip_then_noise(
+    weights: Sequence[np.ndarray],
+    clip_norm: float,
+    noise_std: float,
+    seed: int | np.random.Generator | None = 0,
+) -> list[np.ndarray]:
+    """Clip the global L2 norm, then add Gaussian noise (the DP-SGD recipe
+    applied at the model-broadcast granularity)."""
+    if clip_norm <= 0:
+        raise ValueError("clip_norm must be > 0")
+    arrays = [np.asarray(w, dtype=np.float64) for w in weights]
+    total = float(np.sqrt(sum((a**2).sum() for a in arrays)))
+    scale = 1.0 if total <= clip_norm or total == 0 else clip_norm / total
+    return gaussian_mechanism([a * scale for a in arrays], noise_std, seed)
+
+
+def leakage_of_update(
+    weights_before: np.ndarray,
+    weights_after: np.ndarray,
+    x_true: np.ndarray,
+) -> float:
+    """End-to-end leak score of one observed linear-layer update.
+
+    What a malicious aggregator computes: difference the two snapshots it
+    received, run the inversion, compare with the (attacker-unknown)
+    ground truth for scoring.
+    """
+    delta = np.asarray(weights_after, dtype=np.float64) - np.asarray(
+        weights_before, dtype=np.float64
+    )
+    if not np.any(delta):
+        return 0.0
+    return reconstruction_similarity(x_true, rank1_input_reconstruction(delta))

@@ -1,0 +1,79 @@
+"""Centralized cloud aggregator — the substrate the FL/FRL baselines need.
+
+The paper's criticism of classic FL is precisely this component: a cloud
+server that receives every client's parameters, averages them, and sends
+the global model back (and that could be malicious).  We implement it
+faithfully so the baselines are real, including per-round cost accounting
+(uplink/downlink parameter counts and an optional per-round dollar cost
+to model the paper's "extra monetary cost from cloud usage" argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.serialization import average_weights, count_parameters
+
+__all__ = ["CentralServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    n_rounds: int = 0
+    uplink_params: int = 0
+    downlink_params: int = 0
+    dollars_charged: float = 0.0
+    clients_seen: set[int] = field(default_factory=set)
+
+
+class CentralServer:
+    """FedAvg server with cost accounting.
+
+    Parameters
+    ----------
+    cost_per_round:
+        Cloud-service fee charged per aggregation round (defaults to a
+        token value; the Local/PFDRL pipelines never pay it).
+    """
+
+    def __init__(self, cost_per_round: float = 0.01) -> None:
+        if cost_per_round < 0:
+            raise ValueError("cost_per_round must be >= 0")
+        self.cost_per_round = float(cost_per_round)
+        self.stats = ServerStats()
+        self._global: dict[str, list[np.ndarray]] = {}
+
+    def aggregate(
+        self,
+        key: str,
+        client_ids: Sequence[int],
+        weight_sets: Sequence[Sequence[np.ndarray]],
+        client_weights: Sequence[float] | None = None,
+    ) -> list[np.ndarray]:
+        """One FedAvg round for model *key*; returns the new global model."""
+        if len(client_ids) != len(weight_sets):
+            raise ValueError("client_ids and weight_sets must align")
+        if not weight_sets:
+            raise ValueError("need at least one client")
+        merged = average_weights([list(ws) for ws in weight_sets], client_weights)
+        self._global[key] = merged
+        up = sum(count_parameters(list(ws)) for ws in weight_sets)
+        down = count_parameters(merged) * len(client_ids)
+        self.stats.n_rounds += 1
+        self.stats.uplink_params += up
+        self.stats.downlink_params += down
+        self.stats.dollars_charged += self.cost_per_round
+        self.stats.clients_seen.update(int(c) for c in client_ids)
+        return [w.copy() for w in merged]
+
+    def global_model(self, key: str) -> list[np.ndarray]:
+        """Latest global model for *key* (copies)."""
+        if key not in self._global:
+            raise KeyError(f"no global model aggregated under {key!r}")
+        return [w.copy() for w in self._global[key]]
+
+    def has_model(self, key: str) -> bool:
+        return key in self._global

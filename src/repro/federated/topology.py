@@ -1,0 +1,61 @@
+"""Broadcast topologies.
+
+The paper's DFL broadcasts "between the smart home agents ... inside the
+residential building" — a full mesh.  Ring and star variants are provided
+for the topology ablation bench (star with a distinguished hub is also
+how the centralized FL baseline is wired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["Topology", "make_topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A named communication graph over agent ids ``0..n-1``."""
+
+    name: str
+    graph: nx.Graph
+
+    @property
+    def n_agents(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def neighbors(self, agent: int) -> list[int]:
+        """Agents that receive *agent*'s broadcasts (sorted)."""
+        if agent not in self.graph:
+            raise KeyError(f"agent {agent} not in topology")
+        return sorted(self.graph.neighbors(agent))
+
+    def n_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    def is_connected(self) -> bool:
+        return self.n_agents > 0 and nx.is_connected(self.graph)
+
+
+def make_topology(name: str, n_agents: int, hub: int = 0) -> Topology:
+    """Build a topology: ``full`` (mesh), ``ring``, or ``star``.
+
+    ``hub`` selects the star's centre (the "cloud" in the FL baseline).
+    """
+    if n_agents < 1:
+        raise ValueError("n_agents must be >= 1")
+    if name == "full":
+        g = nx.complete_graph(n_agents)
+    elif name == "ring":
+        g = nx.cycle_graph(n_agents) if n_agents > 2 else nx.path_graph(n_agents)
+    elif name == "star":
+        if not 0 <= hub < n_agents:
+            raise ValueError("hub out of range")
+        g = nx.Graph()
+        g.add_nodes_from(range(n_agents))
+        g.add_edges_from((hub, i) for i in range(n_agents) if i != hub)
+    else:
+        raise ValueError(f"unknown topology {name!r}; choose full|ring|star")
+    return Topology(name=name, graph=g)

@@ -1,0 +1,43 @@
+"""Per-device load forecasters (paper §3.2, Figs. 5-8, 13).
+
+Four models behind one :class:`repro.forecast.base.Forecaster` API —
+Linear Regression, (linear) Support Vector Regression, a Back-Propagation
+network, and an LSTM — all exposing ``get_weights`` / ``set_weights`` so
+the decentralized-federated-learning driver can broadcast and average
+them (Algorithm 1).
+
+The task: given the last ``window`` minutes of a device's (normalised)
+power, predict the next ``horizon`` minutes (paper: next hour at minute
+granularity, horizon = 60).
+"""
+
+from repro.forecast.base import Forecaster
+from repro.forecast.features import (
+    N_TIME_FEATURES,
+    augment_time_features,
+    denormalize_power,
+    make_windows,
+    normalize_power,
+)
+from repro.forecast.linreg import LinearRegressionForecaster
+from repro.forecast.rff_svr import RFFSVRForecaster
+from repro.forecast.svr import SVRForecaster
+from repro.forecast.bpnet import BPForecaster
+from repro.forecast.lstm_forecaster import LSTMForecaster
+from repro.forecast.registry import FORECASTERS, make_forecaster
+
+__all__ = [
+    "Forecaster",
+    "make_windows",
+    "normalize_power",
+    "denormalize_power",
+    "augment_time_features",
+    "N_TIME_FEATURES",
+    "LinearRegressionForecaster",
+    "SVRForecaster",
+    "RFFSVRForecaster",
+    "BPForecaster",
+    "LSTMForecaster",
+    "FORECASTERS",
+    "make_forecaster",
+]

@@ -1,0 +1,94 @@
+"""Forecaster protocol shared by all four prediction models."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Forecaster"]
+
+
+class Forecaster(abc.ABC):
+    """A trainable next-hour load predictor.
+
+    Contract
+    --------
+    - ``fit(X, y)`` performs *incremental* training: calling it again
+      continues from the current weights (this is what makes federated
+      rounds meaningful).
+    - ``predict(X)`` maps ``(n, window)`` features to ``(n, horizon)``
+      predictions.
+    - ``get_weights()`` / ``set_weights()`` expose the parameters that go
+      on the wire in the DFL broadcast, in a stable order.
+    - ``clone()`` builds a fresh untrained model with identical
+      configuration (used to spin up per-device models across residences).
+
+    Inputs are expected pre-normalised (see
+    :func:`repro.forecast.features.normalize_power`).
+    """
+
+    #: Registry key, e.g. ``"lr"``; set by subclasses.
+    name: str = "base"
+
+    def __init__(self, window: int, horizon: int, n_extra: int = 0) -> None:
+        if window < 1 or horizon < 1:
+            raise ValueError("window and horizon must be >= 1")
+        if n_extra < 0:
+            raise ValueError("n_extra must be >= 0")
+        self.window = int(window)
+        self.horizon = int(horizon)
+        self.n_extra = int(n_extra)
+
+    @property
+    def input_dim(self) -> int:
+        """Feature-vector width: ``window`` lag columns + ``n_extra``."""
+        return self.window + self.n_extra
+
+    # -- shape checking ----------------------------------------------
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != self.input_dim:
+            raise ValueError(f"expected X of shape (n, {self.input_dim}), got {X.shape}")
+        return X
+
+    def _check_Xy(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = self._check_X(X)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[None, :]
+        if y.shape != (X.shape[0], self.horizon):
+            raise ValueError(
+                f"expected y of shape ({X.shape[0]}, {self.horizon}), got {y.shape}"
+            )
+        return X, y
+
+    # -- API ------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Train incrementally on (X, y); return the final training loss."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict ``(n, horizon)`` outputs for ``(n, window)`` inputs."""
+
+    @abc.abstractmethod
+    def get_weights(self) -> list[np.ndarray]:
+        """Parameter arrays in stable order (copies)."""
+
+    @abc.abstractmethod
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+
+    @abc.abstractmethod
+    def clone(self) -> "Forecaster":
+        """Fresh untrained model with the same configuration."""
+
+    # -- conveniences ----------------------------------------------------
+    def n_parameters(self) -> int:
+        return sum(int(w.size) for w in self.get_weights())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(window={self.window}, horizon={self.horizon})"

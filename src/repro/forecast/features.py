@@ -1,0 +1,160 @@
+"""Lag-window feature construction for load forecasting.
+
+The forecasting task (§3.2.1): from the last ``window`` minutes of a
+device's power, predict the next ``horizon`` minutes.  Windows are built
+with a stride (default = horizon, i.e. non-overlapping targets) and the
+power is normalised by the device's nominal *on* power so feature scales
+match across residences — a prerequisite for meaningful federated
+parameter averaging.
+
+All window extraction is implemented with
+:func:`numpy.lib.stride_tricks.sliding_window_view` (zero-copy views),
+per the HPC guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "make_windows",
+    "normalize_power",
+    "denormalize_power",
+    "window_count",
+    "augment_time_features",
+    "N_TIME_FEATURES",
+]
+
+#: Default number of harmonic pairs appended by :func:`augment_time_features`.
+DEFAULT_HARMONICS = 4
+
+
+def n_time_features(harmonics: int = DEFAULT_HARMONICS) -> int:
+    """Extra columns produced by :func:`augment_time_features`."""
+    if harmonics < 1:
+        raise ValueError("harmonics must be >= 1")
+    return 2 * harmonics
+
+
+#: Backwards-compatible column count for the default single harmonic pair.
+N_TIME_FEATURES = 2
+
+
+def normalize_power(power_kw: np.ndarray, on_kw: float) -> np.ndarray:
+    """Scale power to ~[0, 1.1] by the device's nominal on power."""
+    if on_kw <= 0:
+        raise ValueError("on_kw must be > 0")
+    return np.asarray(power_kw, dtype=np.float64) / on_kw
+
+
+def denormalize_power(norm: np.ndarray, on_kw: float) -> np.ndarray:
+    """Inverse of :func:`normalize_power`."""
+    if on_kw <= 0:
+        raise ValueError("on_kw must be > 0")
+    return np.asarray(norm, dtype=np.float64) * on_kw
+
+
+def window_count(n_samples: int, window: int, horizon: int, stride: int) -> int:
+    """Number of (X, y) pairs :func:`make_windows` will produce."""
+    usable = n_samples - window - horizon
+    if usable < 0:
+        return 0
+    return usable // stride + 1
+
+
+def make_windows(
+    series: np.ndarray,
+    window: int,
+    horizon: int,
+    stride: int | None = None,
+    return_offsets: bool = False,
+) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build supervised pairs from a 1-D series.
+
+    Parameters
+    ----------
+    series:
+        1-D (already normalised) power series.
+    window, horizon:
+        History length and prediction length, in samples.
+    stride:
+        Spacing between consecutive training pairs; defaults to ``horizon``
+        (non-overlapping targets, matching the paper's hourly cadence).
+    return_offsets:
+        Also return the index of each target's first sample — needed to
+        align predictions with calendar time (hour-of-day experiments).
+
+    Returns
+    -------
+    X : ``(n, window)``, y : ``(n, horizon)`` float64 arrays (copies), and
+    optionally ``offsets`` of shape ``(n,)``.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("series must be 1-D")
+    if stride is None:
+        stride = horizon
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    n = window_count(series.shape[0], window, horizon, stride)
+    if n <= 0:
+        empty = np.zeros((0, window)), np.zeros((0, horizon))
+        return (*empty, np.zeros(0, dtype=np.int64)) if return_offsets else empty
+
+    view = sliding_window_view(series, window + horizon)[::stride][:n]
+    X = view[:, :window].copy()
+    y = view[:, window:].copy()
+    if return_offsets:
+        offsets = (np.arange(n) * stride + window).astype(np.int64)
+        return X, y, offsets
+    return X, y
+
+
+def augment_time_features(
+    X: np.ndarray,
+    offsets: np.ndarray,
+    minutes_per_day: int,
+    t0: int = 0,
+    harmonics: int = 1,
+) -> np.ndarray:
+    """Append sin/cos harmonics of the target's minute-of-day phase.
+
+    Load is strongly diurnal; the forecast target's position in the day is
+    known at prediction time, so giving the model its phase is standard
+    practice (and available to every model equally, keeping the Fig. 5
+    comparison fair).
+
+    Parameters
+    ----------
+    X:
+        ``(n, window)`` lag windows from :func:`make_windows`.
+    offsets:
+        Per-window target-start indices (``return_offsets=True``).
+    minutes_per_day:
+        Day length of the simulation.
+    t0:
+        Absolute minute index of ``series[0]`` (so test splits keep correct
+        calendar phase).
+    harmonics:
+        Number of sin/cos pairs (frequencies 1..harmonics per day).  More
+        harmonics let even linear models shape a sharper day profile.
+
+    Returns
+    -------
+    ``(n, window + 2 * harmonics)`` array.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if X.ndim != 2 or offsets.shape != (X.shape[0],):
+        raise ValueError("X must be (n, window) with aligned offsets")
+    if minutes_per_day < 1:
+        raise ValueError("minutes_per_day must be >= 1")
+    if harmonics < 1:
+        raise ValueError("harmonics must be >= 1")
+    phase = 2.0 * np.pi * ((offsets + t0) % minutes_per_day) / minutes_per_day
+    cols = [X]
+    for k in range(1, harmonics + 1):
+        cols.append(np.sin(k * phase)[:, None])
+        cols.append(np.cos(k * phase)[:, None])
+    return np.concatenate(cols, axis=1)

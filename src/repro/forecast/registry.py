@@ -1,0 +1,50 @@
+"""Forecaster registry: name -> factory.
+
+The paper's comparison set (Fig. 5): ``lr`` < ``svm`` < ``bp`` < ``lstm``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.forecast.base import Forecaster
+from repro.forecast.bpnet import BPForecaster
+from repro.forecast.linreg import LinearRegressionForecaster
+from repro.forecast.lstm_forecaster import LSTMForecaster
+from repro.forecast.rff_svr import RFFSVRForecaster
+from repro.forecast.svr import SVRForecaster
+
+__all__ = ["FORECASTERS", "make_forecaster", "register_forecaster"]
+
+FORECASTERS: dict[str, Callable[..., Forecaster]] = {
+    "lr": LinearRegressionForecaster,
+    "svm": SVRForecaster,
+    "svm_rbf": RFFSVRForecaster,
+    "bp": BPForecaster,
+    "lstm": LSTMForecaster,
+}
+
+
+def register_forecaster(name: str, factory: Callable[..., Forecaster]) -> None:
+    """Add a custom forecaster; raises on duplicate names."""
+    if name in FORECASTERS:
+        raise ValueError(f"forecaster {name!r} already registered")
+    FORECASTERS[name] = factory
+
+
+def make_forecaster(name: str, window: int, horizon: int, **kwargs: Any) -> Forecaster:
+    """Instantiate a registered forecaster by name.
+
+    Extra keyword arguments (``n_extra``, ``seed``, model hyperparameters)
+    are forwarded to the factory.
+
+    >>> f = make_forecaster("lstm", window=60, horizon=60, seed=0)
+    >>> f.name
+    'lstm'
+    """
+    try:
+        factory = FORECASTERS[name]
+    except KeyError:
+        known = ", ".join(sorted(FORECASTERS))
+        raise KeyError(f"unknown forecaster {name!r}; known: {known}") from None
+    return factory(window, horizon, **kwargs)

@@ -1,0 +1,44 @@
+"""Performance metrics (paper §4.1).
+
+1. Prediction accuracy  ``Ac_n = 1 - |V_n - RV_n| / RV_n``
+2. Saved energy value   ``RV_n - V_n`` (realised via EMS actions here)
+3. Saved monetary cost  ``C = Σ (RV - V) · p_t``
+4. Time overhead        training / testing latency
+plus CDF utilities for Fig. 5.
+"""
+
+from repro.metrics.accuracy import (
+    accuracy_series,
+    horizon_energy_accuracy,
+    mean_accuracy,
+    prediction_accuracy,
+)
+from repro.metrics.cdf import empirical_cdf, cdf_at
+from repro.metrics.convergence import auc, days_to_target, speedup
+from repro.metrics.energy import (
+    saved_energy_kwh,
+    saved_standby_fraction,
+    standby_energy_kwh,
+)
+from repro.metrics.monetary import monetary_cost, saved_monetary_cost
+from repro.metrics.timing import Stopwatch, TimingRecord, time_callable
+
+__all__ = [
+    "prediction_accuracy",
+    "mean_accuracy",
+    "accuracy_series",
+    "horizon_energy_accuracy",
+    "empirical_cdf",
+    "cdf_at",
+    "saved_energy_kwh",
+    "standby_energy_kwh",
+    "saved_standby_fraction",
+    "monetary_cost",
+    "saved_monetary_cost",
+    "auc",
+    "days_to_target",
+    "speedup",
+    "Stopwatch",
+    "TimingRecord",
+    "time_callable",
+]

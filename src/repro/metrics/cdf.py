@@ -1,0 +1,31 @@
+"""Empirical CDF utilities for the Fig. 5 accuracy-distribution plot."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_at"]
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted samples and their empirical CDF values.
+
+    Returns ``(x, F)`` with ``F[i] = (i+1)/n`` — the usual right-continuous
+    step estimate.
+    """
+    samples = np.asarray(samples, dtype=np.float64).ravel()
+    if samples.size == 0:
+        return np.zeros(0), np.zeros(0)
+    x = np.sort(samples)
+    F = np.arange(1, x.size + 1, dtype=np.float64) / x.size
+    return x, F
+
+
+def cdf_at(samples: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate the empirical CDF at arbitrary *points* (vectorised)."""
+    samples = np.sort(np.asarray(samples, dtype=np.float64).ravel())
+    points = np.asarray(points, dtype=np.float64)
+    if samples.size == 0:
+        return np.zeros_like(points)
+    idx = np.searchsorted(samples, points, side="right")
+    return idx / samples.size

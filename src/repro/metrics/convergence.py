@@ -1,0 +1,52 @@
+"""Convergence-speed metrics for the Fig. 9 analysis.
+
+The paper's speed claim ("achieve the best performance in a short
+time") needs numbers: given a per-day performance series, when does a
+method first reach a target, and what is its area under the curve
+(higher = converged earlier *and* higher)?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["days_to_target", "auc", "speedup"]
+
+
+def days_to_target(series: np.ndarray, target: float) -> float:
+    """First 1-based index at which *series* reaches *target*.
+
+    Returns ``inf`` when the target is never reached — callers can rank
+    methods without special-casing.
+    """
+    series = np.asarray(series, dtype=float)
+    hits = np.nonzero(series >= target)[0]
+    return float(hits[0] + 1) if hits.size else float("inf")
+
+
+def auc(series: np.ndarray) -> float:
+    """Mean of the performance series (normalised area under the curve).
+
+    Invariant to series length, so methods tracked for different day
+    counts stay comparable.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.size == 0:
+        return float("nan")
+    return float(np.nanmean(series))
+
+
+def speedup(fast: np.ndarray, slow: np.ndarray, target: float) -> float:
+    """How many times faster *fast* reaches *target* than *slow*.
+
+    ``inf`` when only *fast* gets there; ``nan`` when neither does.
+    """
+    d_fast = days_to_target(fast, target)
+    d_slow = days_to_target(slow, target)
+    if np.isinf(d_fast) and np.isinf(d_slow):
+        return float("nan")
+    if np.isinf(d_fast):
+        return 0.0
+    if np.isinf(d_slow):
+        return float("inf")
+    return d_slow / d_fast

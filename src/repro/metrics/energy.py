@@ -1,0 +1,50 @@
+"""Energy-savings metrics (paper §4.1, metric 3).
+
+Power series are kW at minute resolution; energy integrates as
+``kWh = Σ kW / 60``.  "Saved" energy compares a baseline trace with the
+trace under EMS control (standby minutes switched off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["standby_energy_kwh", "saved_energy_kwh", "saved_standby_fraction"]
+
+
+def standby_energy_kwh(power_kw: np.ndarray, mode: np.ndarray) -> float:
+    """Energy consumed while in standby (mode == 1)."""
+    power_kw = np.asarray(power_kw, dtype=np.float64)
+    mode = np.asarray(mode)
+    if power_kw.shape != mode.shape:
+        raise ValueError("power and mode must align")
+    return float(power_kw[mode == 1].sum() / 60.0)
+
+
+def saved_energy_kwh(baseline_kw: np.ndarray, controlled_kw: np.ndarray) -> float:
+    """Energy difference between uncontrolled and EMS-controlled traces."""
+    baseline_kw = np.asarray(baseline_kw, dtype=np.float64)
+    controlled_kw = np.asarray(controlled_kw, dtype=np.float64)
+    if baseline_kw.shape != controlled_kw.shape:
+        raise ValueError("traces must align")
+    return float((baseline_kw - controlled_kw).sum() / 60.0)
+
+
+def saved_standby_fraction(
+    baseline_kw: np.ndarray, controlled_kw: np.ndarray, mode: np.ndarray
+) -> float:
+    """Fraction of standby energy recovered by the EMS, in [0, 1]...
+
+    ...modulo a controller that *adds* energy (negative savings), which is
+    reported as a negative fraction rather than clipped, so regressions are
+    visible.  Returns NaN when the trace contains no standby energy.
+    """
+    total_standby = standby_energy_kwh(baseline_kw, mode)
+    if total_standby <= 0:
+        return float("nan")
+    mode = np.asarray(mode)
+    saved = (
+        np.asarray(baseline_kw, dtype=np.float64)[mode == 1]
+        - np.asarray(controlled_kw, dtype=np.float64)[mode == 1]
+    ).sum() / 60.0
+    return float(saved / total_standby)

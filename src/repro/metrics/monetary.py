@@ -1,0 +1,44 @@
+"""Monetary-cost metrics (paper §4.1, metric 4).
+
+``C_{D_Xn, t} = (RV_{n,t} - V_{n,t}) · p_t`` — saved energy priced at the
+plan's time-varying rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.pricing import PricePlan
+
+__all__ = ["monetary_cost", "saved_monetary_cost"]
+
+
+def monetary_cost(
+    energy_kwh_per_step: np.ndarray,
+    hour_of_day: np.ndarray,
+    day_of_year: np.ndarray,
+    plan: PricePlan,
+) -> float:
+    """Total $ for a per-step energy series under *plan*."""
+    energy = np.asarray(energy_kwh_per_step, dtype=np.float64)
+    hour = np.asarray(hour_of_day, dtype=np.float64)
+    day = np.asarray(day_of_year, dtype=np.float64)
+    if not (energy.shape == hour.shape == day.shape):
+        raise ValueError("energy, hour and day series must align")
+    return plan.cost(energy, hour, day)
+
+
+def saved_monetary_cost(
+    baseline_kw: np.ndarray,
+    controlled_kw: np.ndarray,
+    hour_of_day: np.ndarray,
+    day_of_year: np.ndarray,
+    plan: PricePlan,
+) -> float:
+    """$ saved by the EMS: price the per-minute energy delta under *plan*."""
+    baseline = np.asarray(baseline_kw, dtype=np.float64)
+    controlled = np.asarray(controlled_kw, dtype=np.float64)
+    if baseline.shape != controlled.shape:
+        raise ValueError("traces must align")
+    delta_kwh = (baseline - controlled) / 60.0
+    return monetary_cost(delta_kwh, hour_of_day, day_of_year, plan)

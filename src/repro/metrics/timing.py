@@ -1,0 +1,93 @@
+"""Timing harness (paper §4.1, metric 5 — training/testing latency).
+
+Wall clock alone does not transfer across hardware, so every record also
+carries *work units* (SGD steps taken, parameters broadcast); the paper's
+relative-overhead claims (Figs. 13-14) are asserted on those, with wall
+clock reported alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TimingRecord", "Stopwatch", "time_callable"]
+
+
+@dataclass
+class TimingRecord:
+    """One labelled measurement: seconds plus optional work counters."""
+
+    label: str
+    seconds: float
+    work_units: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+
+class Stopwatch:
+    """Accumulating multi-segment timer.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure("train"):
+    ...     pass
+    >>> sw.total("train") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        self._work: dict[str, dict[str, float]] = {}
+
+    def measure(self, label: str) -> "_Segment":
+        return _Segment(self, label)
+
+    def add(self, label: str, seconds: float) -> None:
+        self._totals[label] = self._totals.get(label, 0.0) + seconds
+        self._counts[label] = self._counts.get(label, 0) + 1
+
+    def add_work(self, label: str, **units: float) -> None:
+        bucket = self._work.setdefault(label, {})
+        for k, v in units.items():
+            bucket[k] = bucket.get(k, 0.0) + v
+
+    def total(self, label: str) -> float:
+        return self._totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        return self._counts.get(label, 0)
+
+    def work(self, label: str) -> dict[str, float]:
+        return dict(self._work.get(label, {}))
+
+    def record(self, label: str) -> TimingRecord:
+        return TimingRecord(label, self.total(label), self.work(label))
+
+    def labels(self) -> list[str]:
+        return sorted(set(self._totals) | set(self._work))
+
+
+class _Segment:
+    def __init__(self, sw: Stopwatch, label: str) -> None:
+        self._sw = sw
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Segment":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._sw.add(self._label, time.perf_counter() - self._start)
+
+
+def time_callable(fn: Callable[[], Any], label: str = "call") -> tuple[Any, TimingRecord]:
+    """Run *fn* once, returning (result, TimingRecord)."""
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return result, TimingRecord(label, elapsed)

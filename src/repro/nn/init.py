@@ -1,0 +1,39 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so model
+construction is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "he_uniform", "orthogonal", "zeros"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform — standard for tanh/sigmoid layers (LSTM)."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He/Kaiming uniform — standard for ReLU layers (DQN, BP net)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Orthogonal init — useful for recurrent weight matrices."""
+    a = rng.normal(size=(max(fan_in, fan_out), min(fan_in, fan_out)))
+    q, r = np.linalg.qr(a)
+    # Fix signs so the decomposition (and hence the init) is unique.
+    q = q * np.sign(np.diag(r))
+    if fan_in < fan_out:
+        q = q.T
+    return q[:fan_in, :fan_out].copy()
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """Zero-initialised float64 array (biases)."""
+    return np.zeros(shape, dtype=np.float64)

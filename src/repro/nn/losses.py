@@ -1,0 +1,67 @@
+"""Loss functions with value + gradient.
+
+The paper adopts the **Huber loss** for DQN training ("acts quadratic for
+small errors and linear for large errors. This prevents the network from
+having a dramatic change while processing outliers"); MSE is used by the
+regression forecasters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Loss", "MSELoss", "HuberLoss"]
+
+
+class Loss:
+    """Protocol: ``loss(pred, target) -> (scalar, dL/dpred)``."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+def _check(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    return pred, target
+
+
+class MSELoss(Loss):
+    """Mean squared error, averaged over all elements."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        pred, target = _check(pred, target)
+        diff = pred - target
+        n = max(1, diff.size)
+        loss = float((diff**2).mean()) if diff.size else 0.0
+        grad = 2.0 * diff / n
+        return loss, grad
+
+
+class HuberLoss(Loss):
+    """Huber loss with transition point *delta*.
+
+    Quadratic for ``|err| <= delta``, linear beyond — gradient is clipped
+    at ±delta, which is exactly the "no dramatic change on outliers"
+    property the paper wants for DQN TD errors.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be > 0")
+        self.delta = float(delta)
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        pred, target = _check(pred, target)
+        diff = pred - target
+        n = max(1, diff.size)
+        absd = np.abs(diff)
+        quad = absd <= self.delta
+        loss_el = np.where(
+            quad, 0.5 * diff**2, self.delta * (absd - 0.5 * self.delta)
+        )
+        loss = float(loss_el.mean()) if diff.size else 0.0
+        grad = np.where(quad, diff, self.delta * np.sign(diff)) / n
+        return loss, grad

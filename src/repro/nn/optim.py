@@ -1,0 +1,107 @@
+"""Optimisers operating on :class:`repro.nn.module.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base: holds the parameter list and a learning rate."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be > 0")
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.params = list(params)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and grad clipping.
+
+    The paper's DFL update (Eq. 2) is plain (D)SGD; momentum defaults to 0.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        scale = _clip_scale(self.params, self.clip_norm)
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad * scale
+            if self.momentum > 0.0:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        scale = _clip_scale(self.params, self.clip_norm)
+        b1c = 1.0 - self.beta1**self._t
+        b2c = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad * scale
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.data -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+
+
+def _clip_scale(params: list[Parameter], clip_norm: float | None) -> float:
+    """Global-norm gradient clipping factor (1.0 when disabled)."""
+    if clip_norm is None:
+        return 1.0
+    total = 0.0
+    for p in params:
+        total += float((p.grad**2).sum())
+    norm = np.sqrt(total)
+    if norm <= clip_norm or norm == 0.0:
+        return 1.0
+    return clip_norm / norm

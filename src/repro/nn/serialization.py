@@ -1,0 +1,151 @@
+"""Weight (de)serialisation utilities for federated learning.
+
+Federation treats a model as its ordered list of parameter arrays.  This
+module provides:
+
+- :func:`get_weights` / :func:`set_weights` — copy weights out of / into a
+  model;
+- :func:`average_weights` — the FedAvg reduction (Eq. 2 / Eq. 7), with
+  optional per-client weighting;
+- :func:`flatten_weights` / :func:`unflatten_weights` — pack a weight list
+  into one vector (what would actually go on the wire) and back;
+- :func:`layer_parameter_groups` — per-layer grouping used by the α
+  base/personalization split;
+- byte accounting helpers for the communication-cost experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "get_weights",
+    "set_weights",
+    "clone_weights",
+    "average_weights",
+    "flatten_weights",
+    "unflatten_weights",
+    "count_parameters",
+    "weights_nbytes",
+    "layer_parameter_groups",
+    "weights_allclose",
+]
+
+Weights = list[np.ndarray]
+
+
+def get_weights(model: Module) -> Weights:
+    """Copies of the model's parameter arrays, in parameter order."""
+    return [p.data.copy() for p in model.parameters()]
+
+
+def set_weights(model: Module, weights: Sequence[np.ndarray]) -> None:
+    """Load *weights* (same order/shapes as :func:`get_weights`) in place."""
+    params = model.parameters()
+    if len(params) != len(weights):
+        raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+    for p, w in zip(params, weights):
+        w = np.asarray(w, dtype=np.float64)
+        if w.shape != p.data.shape:
+            raise ValueError(f"shape mismatch for {p.name!r}: {w.shape} vs {p.data.shape}")
+        p.data[...] = w
+
+
+def clone_weights(weights: Sequence[np.ndarray]) -> Weights:
+    """Deep-copy a weight list."""
+    return [np.array(w, dtype=np.float64, copy=True) for w in weights]
+
+
+def average_weights(
+    weight_sets: Sequence[Sequence[np.ndarray]],
+    client_weights: Sequence[float] | None = None,
+) -> Weights:
+    """FedAvg: element-wise (weighted) mean across clients.
+
+    ``client_weights`` defaults to uniform (the paper's Algorithm 1 uses a
+    plain mean); when given, they are normalised to sum to 1, supporting
+    dataset-size weighting.
+    """
+    if not weight_sets:
+        raise ValueError("need at least one weight set")
+    n = len(weight_sets)
+    k = len(weight_sets[0])
+    for ws in weight_sets:
+        if len(ws) != k:
+            raise ValueError("all weight sets must have the same length")
+    if client_weights is None:
+        cw = np.full(n, 1.0 / n)
+    else:
+        cw = np.asarray(client_weights, dtype=np.float64)
+        if cw.shape != (n,):
+            raise ValueError("client_weights must match number of clients")
+        if np.any(cw < 0) or cw.sum() <= 0:
+            raise ValueError("client_weights must be non-negative, not all zero")
+        cw = cw / cw.sum()
+    out: Weights = []
+    for j in range(k):
+        acc = np.zeros_like(np.asarray(weight_sets[0][j], dtype=np.float64))
+        for i, ws in enumerate(weight_sets):
+            acc += cw[i] * np.asarray(ws[j], dtype=np.float64)
+        out.append(acc)
+    return out
+
+
+def flatten_weights(weights: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate all arrays into one 1-D vector (the wire format)."""
+    if not weights:
+        return np.zeros(0)
+    return np.concatenate([np.asarray(w, dtype=np.float64).ravel() for w in weights])
+
+
+def unflatten_weights(vector: np.ndarray, like: Sequence[np.ndarray]) -> Weights:
+    """Inverse of :func:`flatten_weights` given template shapes."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    total = sum(np.asarray(w).size for w in like)
+    if vector.size != total:
+        raise ValueError(f"vector has {vector.size} elements, templates need {total}")
+    out: Weights = []
+    offset = 0
+    for w in like:
+        shape = np.asarray(w).shape
+        size = int(np.prod(shape)) if shape else 1
+        out.append(vector[offset : offset + size].reshape(shape))
+        offset += size
+    return out
+
+
+def count_parameters(weights: Sequence[np.ndarray] | Module) -> int:
+    """Total scalar count of a weight list or a model."""
+    if isinstance(weights, Module):
+        return weights.n_parameters()
+    return sum(int(np.asarray(w).size) for w in weights)
+
+
+def weights_nbytes(weights: Sequence[np.ndarray] | Module) -> int:
+    """Bytes on the wire assuming float64 payloads."""
+    return count_parameters(weights) * 8
+
+
+def layer_parameter_groups(model: Module) -> list[list[Parameter]]:
+    """Per-layer parameter groups for the α-split.
+
+    Models that define ``hidden_layer_groups`` (e.g. :class:`repro.nn.mlp.MLP`)
+    use their own grouping; otherwise each parameter forms its own group.
+    """
+    groups = getattr(model, "hidden_layer_groups", None)
+    if callable(groups):
+        return groups()
+    return [[p] for p in model.parameters()]
+
+
+def weights_allclose(
+    a: Sequence[np.ndarray], b: Sequence[np.ndarray], rtol: float = 1e-9, atol: float = 1e-12
+) -> bool:
+    """True when two weight lists match element-wise within tolerance."""
+    if len(a) != len(b):
+        return False
+    return all(np.allclose(x, y, rtol=rtol, atol=atol) for x, y in zip(a, b))

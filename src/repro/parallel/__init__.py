@@ -1,0 +1,22 @@
+"""Parallel execution utilities.
+
+The neighbourhood simulation is embarrassingly parallel across residences
+(each agent trains on its own data between broadcast barriers), so the
+drivers fan work out over a process pool between synchronisation points.
+
+- :func:`repro.parallel.pool.parallel_map` — order-preserving map over a
+  process pool with a serial fallback (``n_workers<=1`` or tiny inputs).
+- :func:`repro.parallel.partition.partition_round_robin` /
+  :func:`repro.parallel.partition.partition_chunks` — work splitting.
+"""
+
+from repro.parallel.pool import ParallelConfig, parallel_map, parallel_starmap
+from repro.parallel.partition import partition_chunks, partition_round_robin
+
+__all__ = [
+    "ParallelConfig",
+    "parallel_map",
+    "parallel_starmap",
+    "partition_chunks",
+    "partition_round_robin",
+]

@@ -1,0 +1,41 @@
+"""Work partitioning helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["partition_round_robin", "partition_chunks"]
+
+
+def partition_round_robin(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Deal items into *n_parts* lists round-robin (balanced sizes).
+
+    Good when per-item cost is uniform-ish but ordering is arbitrary.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    parts: list[list[T]] = [[] for _ in range(n_parts)]
+    for i, item in enumerate(items):
+        parts[i % n_parts].append(item)
+    return parts
+
+
+def partition_chunks(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Split into *n_parts* contiguous chunks with sizes differing by <= 1.
+
+    Good when items are ordered (e.g. time ranges) and locality matters.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    items = list(items)
+    n = len(items)
+    base, extra = divmod(n, n_parts)
+    parts: list[list[T]] = []
+    start = 0
+    for i in range(n_parts):
+        size = base + (1 if i < extra else 0)
+        parts.append(items[start : start + size])
+        start += size
+    return parts

@@ -1,0 +1,94 @@
+"""Process-pool map with serial fallback.
+
+Design notes (per the HPC guides):
+
+- Work items must be picklable; keep payloads small (weights, arrays) —
+  the heavy state lives inside the worker function's arguments.
+- Child processes inherit nothing stateful: every task is a pure function
+  of its arguments, and any randomness must come in via explicit seeds
+  (use :func:`repro.rng.hash_seed` to address per-task streams).
+- For small inputs the pool overhead dominates, so ``parallel_map`` runs
+  serially unless the input is big enough and ``n_workers > 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ParallelConfig", "parallel_map", "parallel_starmap"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan work out.
+
+    ``n_workers <= 1`` forces serial execution.  ``min_tasks_per_worker``
+    guards against spawning processes for trivial inputs.
+    """
+
+    n_workers: int = 1
+    min_tasks_per_worker: int = 2
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.min_tasks_per_worker < 1:
+            raise ValueError("min_tasks_per_worker must be >= 1")
+        if self.chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+
+    @staticmethod
+    def auto(max_workers: int | None = None) -> "ParallelConfig":
+        """Use up to (cpu_count - 1) workers, optionally capped."""
+        n = max(1, (os.cpu_count() or 2) - 1)
+        if max_workers is not None:
+            n = min(n, max_workers)
+        return ParallelConfig(n_workers=n)
+
+    def effective_workers(self, n_tasks: int) -> int:
+        """Workers actually worth spawning for *n_tasks*."""
+        if self.n_workers <= 1 or n_tasks < 2 * self.min_tasks_per_worker:
+            return 1
+        return min(self.n_workers, max(1, n_tasks // self.min_tasks_per_worker))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    config: ParallelConfig | None = None,
+) -> list[R]:
+    """Order-preserving map, parallel when it pays off.
+
+    Falls back to a plain loop when the pool isn't worth it, so callers
+    never need two code paths.
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    workers = config.effective_workers(len(items))
+    if workers <= 1:
+        return [fn(x) for x in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=config.chunksize))
+
+
+def parallel_starmap(
+    fn: Callable[..., R],
+    arg_tuples: Sequence[tuple],
+    config: ParallelConfig | None = None,
+) -> list[R]:
+    """Like :func:`parallel_map` but unpacking argument tuples."""
+    config = config or ParallelConfig()
+    arg_tuples = list(arg_tuples)
+    workers = config.effective_workers(len(arg_tuples))
+    if workers <= 1:
+        return [fn(*args) for args in arg_tuples]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *args) for args in arg_tuples]
+        return [f.result() for f in futures]

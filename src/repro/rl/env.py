@@ -1,0 +1,153 @@
+"""The per-device energy-management MDP (paper §3.3.1).
+
+One episode covers one forecast horizon (default 60 minutes).  At minute
+``t`` the agent sees a state built from the *predicted* power ``V_t`` and
+the *real-time* power ``RV_t``, picks an action in {off, standby, on},
+and receives the Table-1 reward against the ground-truth (real) mode.
+State transitions are deterministic (the paper sets P ≡ 1): the trace
+simply advances one minute.
+
+The environment also materialises the *controlled* power trace the
+EMS produces, with pass-through semantics:
+
+- action **off**     → device draws 0 (this is where standby waste dies);
+- action **standby** → device draws at most its standby level;
+- action **on**      → the real draw passes through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.modes import classify_modes
+from repro.rl.qnet import STATE_DIM, build_states
+from repro.rl.reward import reward_vector
+
+__all__ = ["DeviceEnv", "EnvStep"]
+
+
+@dataclass(frozen=True)
+class EnvStep:
+    """Result of one environment step."""
+
+    state: np.ndarray
+    reward: float
+    done: bool
+    ground_truth_mode: int
+    controlled_kw: float
+
+
+class DeviceEnv:
+    """Episode over aligned predicted/real power windows.
+
+    Parameters
+    ----------
+    predicted_kw / real_kw:
+        Aligned per-minute series (one forecast horizon or longer).
+    on_kw / standby_kw:
+        The device's nominal mode levels (state featurisation + reward
+        ground truth both derive from them).
+    ground_truth_mode:
+        Optional explicit mode labels; classified from ``real_kw`` when
+        omitted (which is what a deployed agent would have to do).
+    device:
+        Device-type name for the state one-hot (the agent knows which
+        device it is switching).
+    """
+
+    def __init__(
+        self,
+        predicted_kw: np.ndarray,
+        real_kw: np.ndarray,
+        on_kw: float,
+        standby_kw: float,
+        ground_truth_mode: np.ndarray | None = None,
+        device: str | None = None,
+    ) -> None:
+        self.predicted_kw = np.asarray(predicted_kw, dtype=np.float64)
+        self.real_kw = np.asarray(real_kw, dtype=np.float64)
+        if self.predicted_kw.shape != self.real_kw.shape or self.predicted_kw.ndim != 1:
+            raise ValueError("predicted and real series must be aligned 1-D arrays")
+        if self.predicted_kw.shape[0] < 1:
+            raise ValueError("need at least one minute of data")
+        self.on_kw = float(on_kw)
+        self.standby_kw = float(standby_kw)
+        if ground_truth_mode is None:
+            self.ground_truth_mode = classify_modes(self.real_kw, on_kw, standby_kw)
+        else:
+            self.ground_truth_mode = np.asarray(ground_truth_mode, dtype=np.int8)
+            if self.ground_truth_mode.shape != self.real_kw.shape:
+                raise ValueError("ground_truth_mode must align with the series")
+
+        self.device = device
+        # Precompute the full state matrix once (vectorised featurisation).
+        self._states = build_states(
+            self.predicted_kw, self.real_kw, self.on_kw, self.standby_kw, device
+        )
+        self._t = 0
+        self.controlled_kw = np.full(self.horizon, np.nan)
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        return int(self.real_kw.shape[0])
+
+    @property
+    def state_dim(self) -> int:
+        return STATE_DIM
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial state."""
+        self._t = 0
+        self.controlled_kw = np.full(self.horizon, np.nan)
+        return self._states[0].copy()
+
+    def step(self, action: int) -> EnvStep:
+        """Apply *action* at the current minute and advance."""
+        if not 0 <= action <= 2:
+            raise ValueError(f"action must be 0..2, got {action}")
+        if self._t >= self.horizon:
+            raise RuntimeError("episode finished; call reset()")
+        t = self._t
+        gt = int(self.ground_truth_mode[t])
+        r = float(reward_vector(np.asarray([gt]), np.asarray([action]))[0])
+
+        real = self.real_kw[t]
+        if action == 0:
+            controlled = 0.0
+        elif action == 1:
+            controlled = min(real, self.standby_kw * 1.1)
+        else:
+            controlled = real
+        self.controlled_kw[t] = controlled
+
+        self._t += 1
+        done = self._t >= self.horizon
+        next_state = (
+            self._states[self._t].copy() if not done else np.zeros(STATE_DIM)
+        )
+        return EnvStep(
+            state=next_state,
+            reward=r,
+            done=done,
+            ground_truth_mode=gt,
+            controlled_kw=controlled,
+        )
+
+    # ------------------------------------------------------------------
+    def optimal_actions(self) -> np.ndarray:
+        """The reward-optimal action per minute (standby→off, else match)."""
+        gt = self.ground_truth_mode.astype(np.int64)
+        out = gt.copy()
+        out[gt == 1] = 0  # kill standby
+        return out
+
+    def max_episode_reward(self) -> float:
+        """Reward of the optimal policy over the whole episode."""
+        return float(reward_vector(self.ground_truth_mode, self.optimal_actions()).sum())

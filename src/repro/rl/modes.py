@@ -1,0 +1,75 @@
+"""Band-based device-mode classification (paper §3.3.1).
+
+"If the value is 0, we define the ... mode ... as off mode.  If the value
+is between ``0.9 * V_s`` and ``1.1 * V_s`` ... standby ... between
+``0.9 * V_on`` and ``1.1 * V_on`` ... on."
+
+Readings that fall outside every band (possible with forecaster output)
+are resolved to the mode whose nominal power is nearest in log-space —
+off competes as a pseudo-level at ``zero_eps``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.devices import MODE_OFF, MODE_ON, MODE_STANDBY
+
+__all__ = ["classify_mode", "classify_modes", "MODE_NAMES"]
+
+MODE_NAMES = {MODE_OFF: "off", MODE_STANDBY: "standby", MODE_ON: "on"}
+
+BAND_LO = 0.9
+BAND_HI = 1.1
+
+
+def classify_modes(
+    values: np.ndarray,
+    on_kw: float,
+    standby_kw: float,
+    zero_eps: float | None = None,
+) -> np.ndarray:
+    """Vectorised mode classification of power readings.
+
+    Parameters
+    ----------
+    values:
+        Power readings (kW), any shape.
+    on_kw / standby_kw:
+        The device's nominal ``V_on`` / ``V_s`` levels.
+    zero_eps:
+        Threshold below which a reading counts as 0/off.  Defaults to half
+        the standby band floor, so off and standby never overlap.
+    """
+    if on_kw <= 0 or standby_kw < 0:
+        raise ValueError("need on_kw > 0 and standby_kw >= 0")
+    if standby_kw >= on_kw:
+        raise ValueError("standby level must be below on level")
+    values = np.asarray(values, dtype=np.float64)
+    if zero_eps is None:
+        zero_eps = max(BAND_LO * standby_kw * 0.5, 1e-9)
+
+    out = np.empty(values.shape, dtype=np.int8)
+    off = values < zero_eps
+    standby = (~off) & (values >= BAND_LO * standby_kw) & (values <= BAND_HI * standby_kw)
+    on = (~off) & (values >= BAND_LO * on_kw) & (values <= BAND_HI * on_kw)
+
+    out[off] = MODE_OFF
+    out[standby] = MODE_STANDBY
+    out[on] = MODE_ON
+
+    # Out-of-band readings: nearest nominal level in log space.
+    unresolved = ~(off | standby | on)
+    if np.any(unresolved):
+        v = np.maximum(values[unresolved], zero_eps * 0.1)
+        levels = np.array([zero_eps, max(standby_kw, zero_eps * 2), on_kw])
+        dist = np.abs(np.log(v[:, None]) - np.log(levels[None, :]))
+        out[unresolved] = dist.argmin(axis=1).astype(np.int8)
+    return out
+
+
+def classify_mode(
+    value: float, on_kw: float, standby_kw: float, zero_eps: float | None = None
+) -> int:
+    """Scalar convenience wrapper around :func:`classify_modes`."""
+    return int(classify_modes(np.asarray([value]), on_kw, standby_kw, zero_eps)[0])

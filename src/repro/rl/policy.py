@@ -1,0 +1,58 @@
+"""ε-greedy action selection with linear decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import as_generator
+
+__all__ = ["EpsilonGreedy"]
+
+
+class EpsilonGreedy:
+    """Linear ε decay from ``start`` to ``end`` over ``decay_steps`` calls.
+
+    Exploration uses the provided generator, so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        n_actions: int,
+        start: float = 1.0,
+        end: float = 0.05,
+        decay_steps: int = 2000,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_actions < 1:
+            raise ValueError("n_actions must be >= 1")
+        if not 0.0 <= end <= start <= 1.0:
+            raise ValueError("need 0 <= end <= start <= 1")
+        if decay_steps < 1:
+            raise ValueError("decay_steps must be >= 1")
+        self.n_actions = int(n_actions)
+        self.start = float(start)
+        self.end = float(end)
+        self.decay_steps = int(decay_steps)
+        self._rng = as_generator(seed)
+        self._step = 0
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration probability."""
+        frac = min(1.0, self._step / self.decay_steps)
+        return self.start + (self.end - self.start) * frac
+
+    def select(self, q_values: np.ndarray, greedy: bool = False) -> int:
+        """Pick an action for one state's Q-value vector."""
+        q_values = np.asarray(q_values, dtype=np.float64).ravel()
+        if q_values.shape != (self.n_actions,):
+            raise ValueError(f"expected {self.n_actions} Q-values, got {q_values.shape}")
+        if not greedy:
+            eps = self.epsilon
+            self._step += 1
+            if self._rng.random() < eps:
+                return int(self._rng.integers(0, self.n_actions))
+        return int(np.argmax(q_values))
+
+    def reset(self) -> None:
+        self._step = 0

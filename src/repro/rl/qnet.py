@@ -1,0 +1,125 @@
+"""Q-network construction and state featurisation.
+
+Architecture per §4: ``n_hidden_layers`` (8) hidden layers of
+``hidden_width`` (100) ReLU neurons, 3-unit linear output giving the
+Q-values of the three mode actions.
+
+State (§3.3.1): the paper's state is the *predicted* energy value (from
+the DFL forecast window ``V``) together with the *real-time* value
+(``RV``) — raw readings, not mode labels ("The first part is the
+predicted energy consumption ... The second part is the real-time energy
+consumption").  The paper's agent is one DQN per *residence* deciding
+for every device, so the readings are encoded on a single **global**
+watt scale (log-compressed)::
+
+    [log1p(v_pred / 10 W) / 3,  log1p(v_real / 10 W) / 3]
+
+Deliberately *no* per-device normalisation and *no* mode one-hots: on
+the shared scale, device levels interleave across types and homes (one
+home's light-on sits where another's computer-standby does), so the
+correct action boundary is home-specific — exactly the part of the task
+the personalization layers solve (Fig. 12), while the shared base
+layers learn the coarse level structure all homes have in common.
+
+The agent controls a *known* device, so the state also carries the
+device-type one-hot (the paper's agent "decide[s] whether the mode of a
+certain device D_Xn should be changed" — it knows which device it is
+switching).  Within one home that removes cross-device ambiguity; the
+home-specific part (where *this* home's computer-standby sits relative
+to the *neighbourhood's* computer-on band) remains for the
+personalization layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DQNConfig
+from repro.data.devices import DEVICE_CATALOG
+from repro.nn import MLP
+
+__all__ = [
+    "STATE_DIM",
+    "REF_KW",
+    "DEVICE_VOCAB",
+    "device_index",
+    "build_state",
+    "build_states",
+    "make_qnet",
+]
+
+#: Fixed device vocabulary (catalog order) used for the state one-hot.
+DEVICE_VOCAB: tuple[str, ...] = tuple(DEVICE_CATALOG)
+
+STATE_DIM = 2 + len(DEVICE_VOCAB)
+
+#: Global reference level: 10 W.  Standby draws (a few W to tens of W)
+#: land in the responsive part of log1p; multi-kW loads compress.
+REF_KW = 0.01
+
+#: Divisor bringing log1p(3 kW / 10 W) ~ 5.7 down to O(1).
+STATE_SCALE = 3.0
+
+
+def device_index(device: str | None) -> int | None:
+    """Vocabulary index of a device type (None for unknown/absent)."""
+    if device is None:
+        return None
+    try:
+        return DEVICE_VOCAB.index(device)
+    except ValueError:
+        return None
+
+
+def build_states(
+    predicted_kw: np.ndarray,
+    real_kw: np.ndarray,
+    on_kw: float | None = None,
+    standby_kw: float | None = None,
+    device: str | None = None,
+) -> np.ndarray:
+    """Vectorised state featurisation: ``(n,) x2 -> (n, STATE_DIM)``.
+
+    ``on_kw`` / ``standby_kw`` are accepted for interface symmetry but
+    unused — the whole point is that the agent must *learn* its own
+    devices' levels from the shared watt scale.  ``device`` fills the
+    one-hot block (all zeros for an unknown type).
+    """
+    predicted_kw = np.asarray(predicted_kw, dtype=np.float64)
+    real_kw = np.asarray(real_kw, dtype=np.float64)
+    if predicted_kw.shape != real_kw.shape or predicted_kw.ndim != 1:
+        raise ValueError("predicted and real series must be aligned 1-D arrays")
+    if on_kw is not None and on_kw <= 0:
+        raise ValueError("on_kw must be > 0")
+    n = predicted_kw.shape[0]
+    out = np.zeros((n, STATE_DIM))
+    out[:, 0] = np.log1p(np.clip(predicted_kw, 0.0, None) / REF_KW) / STATE_SCALE
+    out[:, 1] = np.log1p(np.clip(real_kw, 0.0, None) / REF_KW) / STATE_SCALE
+    idx = device_index(device)
+    if idx is not None:
+        out[:, 2 + idx] = 1.0
+    return out
+
+
+def build_state(
+    predicted_kw: float,
+    real_kw: float,
+    on_kw: float | None = None,
+    standby_kw: float | None = None,
+    device: str | None = None,
+) -> np.ndarray:
+    """Single-state convenience wrapper (returns shape ``(STATE_DIM,)``)."""
+    return build_states(
+        np.asarray([predicted_kw]), np.asarray([real_kw]), on_kw, standby_kw, device
+    )[0]
+
+
+def make_qnet(config: DQNConfig, rng: int | np.random.Generator | None = 0) -> MLP:
+    """Build the paper's 8x100 ReLU Q-network."""
+    return MLP(
+        STATE_DIM,
+        [config.hidden_width] * config.n_hidden_layers,
+        config.n_actions,
+        activation="relu",
+        rng=rng,
+    )

@@ -1,0 +1,103 @@
+"""Experience replay buffer (paper: memory capacity 2000).
+
+Implemented as pre-allocated numpy ring buffers so sampling a batch is a
+single fancy-index gather (no Python-object churn in the training loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import as_generator
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple (used at the API boundary)."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer over flat state vectors."""
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if capacity < 1 or state_dim < 1:
+            raise ValueError("capacity and state_dim must be >= 1")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self._rng = as_generator(seed)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, state_dim))
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._size = 0
+        self._head = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Append a transition, overwriting the oldest when full."""
+        state = np.asarray(state, dtype=np.float64)
+        next_state = np.asarray(next_state, dtype=np.float64)
+        if state.shape != (self.state_dim,) or next_state.shape != (self.state_dim,):
+            raise ValueError(f"states must have shape ({self.state_dim},)")
+        if not 0 <= int(action):
+            raise ValueError("action must be a non-negative integer")
+        i = self._head
+        self._states[i] = state
+        self._actions[i] = int(action)
+        self._rewards[i] = float(reward)
+        self._next_states[i] = next_state
+        self._dones[i] = bool(done)
+        self._head = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def push_transition(self, t: Transition) -> None:
+        self.push(t.state, t.action, t.reward, t.next_state, t.done)
+
+    def sample(
+        self, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform random batch: (states, actions, rewards, next_states, dones)."""
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        batch_size = min(batch_size, self._size)
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[idx].copy(),
+            self._actions[idx].copy(),
+            self._rewards[idx].copy(),
+            self._next_states[idx].copy(),
+            self._dones[idx].copy(),
+        )
+
+    def clear(self) -> None:
+        self._size = 0
+        self._head = 0

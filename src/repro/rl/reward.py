@@ -1,0 +1,55 @@
+"""Table 1 — the reward function, verbatim.
+
+Rows are the ground-truth (real) mode, columns the DRL action, both in
+mode order off=0, standby=1, on=2:
+
+====================  ==========  ======
+Ground truth mode     DRL action  Reward
+====================  ==========  ======
+On                    On           10
+On                    Standby     -10
+On                    Off         -30
+Standby               On          -10
+Standby               Standby      10
+Standby               Off          30   <- the standby-kill bonus
+Off                   On          -30
+Off                   Standby     -10
+Off                   Off          10
+====================  ==========  ======
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["REWARD_MATRIX", "reward", "reward_vector"]
+
+#: ``REWARD_MATRIX[ground_truth_mode, action]`` with modes off=0, standby=1, on=2.
+REWARD_MATRIX = np.array(
+    [
+        # action: off  standby   on
+        [10.0, -10.0, -30.0],  # truth: off
+        [30.0, 10.0, -10.0],  # truth: standby
+        [-30.0, -10.0, 10.0],  # truth: on
+    ]
+)
+
+
+def reward(ground_truth_mode: int, action: int) -> float:
+    """Scalar Table-1 reward."""
+    if not 0 <= ground_truth_mode <= 2:
+        raise ValueError(f"ground_truth_mode must be 0..2, got {ground_truth_mode}")
+    if not 0 <= action <= 2:
+        raise ValueError(f"action must be 0..2, got {action}")
+    return float(REWARD_MATRIX[ground_truth_mode, action])
+
+
+def reward_vector(ground_truth_modes: np.ndarray, actions: np.ndarray) -> np.ndarray:
+    """Vectorised rewards for aligned mode/action arrays."""
+    gt = np.asarray(ground_truth_modes, dtype=np.int64)
+    ac = np.asarray(actions, dtype=np.int64)
+    if gt.shape != ac.shape:
+        raise ValueError("modes and actions must align")
+    if gt.size and (gt.min() < 0 or gt.max() > 2 or ac.min() < 0 or ac.max() > 2):
+        raise ValueError("modes and actions must be in 0..2")
+    return REWARD_MATRIX[gt, ac]

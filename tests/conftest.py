@@ -1,0 +1,74 @@
+"""Shared fixtures: small-but-real configurations and datasets.
+
+Scale notes: tests use a compressed day (``minutes_per_day=240``, so one
+simulated "hour" is 10 minutes) and few residences/devices, exercising
+identical code paths to the full-scale experiments in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DataConfig,
+    DQNConfig,
+    FederationConfig,
+    ForecastConfig,
+    PFDRLConfig,
+)
+from repro.data import generate_neighborhood
+
+
+@pytest.fixture(scope="session")
+def small_data_config() -> DataConfig:
+    return DataConfig(
+        n_residences=3,
+        n_days=4,
+        minutes_per_day=240,
+        device_types=("tv", "light"),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_data_config):
+    return generate_neighborhood(small_data_config)
+
+
+@pytest.fixture(scope="session")
+def small_forecast_config() -> ForecastConfig:
+    return ForecastConfig(model="lr", window=10, horizon=10)
+
+
+@pytest.fixture(scope="session")
+def small_dqn_config() -> DQNConfig:
+    return DQNConfig(
+        hidden_width=12,
+        epsilon_decay_steps=300,
+        learn_every=2,
+        memory_capacity=500,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_federation_config() -> FederationConfig:
+    return FederationConfig(alpha=6, beta_hours=6.0, gamma_hours=6.0)
+
+
+@pytest.fixture(scope="session")
+def small_pfdrl_config(
+    small_data_config, small_forecast_config, small_dqn_config, small_federation_config
+) -> PFDRLConfig:
+    return PFDRLConfig(
+        data=small_data_config,
+        forecast=small_forecast_config,
+        dqn=small_dqn_config,
+        federation=small_federation_config,
+        episodes=1,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,88 @@
+"""Semantics tests pinning down what distinguishes the five pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import METHODS, run_method
+from repro.config import (
+    DataConfig,
+    DQNConfig,
+    FederationConfig,
+    ForecastConfig,
+    PFDRLConfig,
+)
+from repro.data import generate_neighborhood
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = PFDRLConfig(
+        data=DataConfig(
+            n_residences=3, n_days=3, minutes_per_day=240,
+            device_types=("tv", "light"), seed=71,
+        ),
+        forecast=ForecastConfig(model="lr", window=10, horizon=10),
+        dqn=DQNConfig(
+            hidden_width=8, learning_rate=0.01, batch_size=8,
+            memory_capacity=200, epsilon_decay_steps=200,
+            learn_every=6, reward_scale=1 / 30,
+        ),
+        federation=FederationConfig(beta_hours=6, gamma_hours=6),
+        episodes=1,
+    )
+    ds = generate_neighborhood(cfg.data)
+    results = {name: run_method(name, cfg, ds) for name in METHODS}
+    return cfg, ds, results
+
+class TestPrivacySemantics:
+    def test_only_cloud_ships_raw_data(self, setup):
+        _, _, results = setup
+        for name, r in results.items():
+            if name == "cloud":
+                assert r.data_bytes_uploaded > 0
+            else:
+                assert r.data_bytes_uploaded == 0
+
+    def test_local_and_pfdrl_never_leave_the_neighborhood(self, setup):
+        """Table 2's Local Area column: only Local and PFDRL qualify."""
+        for name, spec in METHODS.items():
+            assert spec.local_area == (name in ("local", "pfdrl"))
+
+
+class TestCommunicationSemantics:
+    def test_local_is_silent(self, setup):
+        _, _, results = setup
+        assert results["local"].params_broadcast == 0
+
+    def test_ems_sharing_methods_broadcast_more(self, setup):
+        _, _, results = setup
+        # FRL and PFDRL also federate the EMS stage, so they transmit
+        # more than FL (which only federates forecasting).
+        assert results["frl"].params_broadcast > results["fl"].params_broadcast
+        assert results["pfdrl"].params_broadcast > results["fl"].params_broadcast
+
+    def test_pfdrl_cheaper_than_frl(self, setup):
+        """The α-layer selection (plus mesh broadcast) undercuts FRL."""
+        _, _, results = setup
+        assert results["pfdrl"].params_broadcast < results["frl"].params_broadcast
+
+
+class TestOutcomeSanity:
+    def test_every_method_saves_energy(self, setup):
+        _, _, results = setup
+        for name, r in results.items():
+            assert r.saved_standby_fraction > 0.2, name
+
+    def test_forecast_accuracy_reasonable_everywhere(self, setup):
+        _, _, results = setup
+        for name, r in results.items():
+            assert 0.1 <= r.forecast_accuracy <= 1.0, name
+
+    def test_results_share_the_same_workload(self, setup):
+        """total standby available must be identical across methods."""
+        _, _, results = setup
+        totals = {
+            name: round(float(r.ems.total_standby_kwh.sum()), 9)
+            for name, r in results.items()
+        }
+        assert len(set(totals.values())) == 1

@@ -1,0 +1,130 @@
+"""Tests for broadcast compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.federated.compression import (
+    TopKSparsifier,
+    UniformQuantizer,
+    compression_ratio,
+)
+
+
+def sample_weights(seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(20, 10)), rng.normal(size=10), rng.normal(size=(5, 5))]
+
+
+class TestTopK:
+    def test_keeps_largest_entries(self):
+        w = [np.asarray([[1.0, -9.0, 0.1, 5.0]])]
+        sp = TopKSparsifier(fraction=0.5)
+        back = sp.decompress(sp.compress(w))[0]
+        assert back[0, 1] == -9.0 and back[0, 3] == 5.0
+        assert back[0, 0] == 0.0 and back[0, 2] == 0.0
+
+    def test_full_fraction_is_lossless(self):
+        w = sample_weights()
+        sp = TopKSparsifier(fraction=1.0)
+        back = sp.decompress(sp.compress(w))
+        for a, b in zip(w, back):
+            assert np.allclose(a, b)
+
+    def test_compression_ratio_improves_with_sparsity(self):
+        w = sample_weights()
+        dense = compression_ratio(w, TopKSparsifier(1.0).compress(w))
+        sparse = compression_ratio(w, TopKSparsifier(0.1).compress(w))
+        assert sparse > dense
+        assert sparse > 4.0  # 10% values at 12B vs 100% at 8B
+
+    def test_error_bounded_by_dropped_mass(self):
+        w = sample_weights(1)
+        sp = TopKSparsifier(0.3)
+        back = sp.decompress(sp.compress(w))
+        for a, b in zip(w, back):
+            err = np.abs(a - b)
+            kept = b != 0
+            # Kept entries are exact; dropped ones can't exceed the
+            # smallest kept magnitude.
+            assert np.allclose(a[kept], b[kept])
+            if kept.any() and (~kept).any():
+                assert err[~kept].max() <= np.abs(b[kept]).min() + 1e-12
+
+    def test_kind_mismatch_rejected(self):
+        w = sample_weights()
+        payload = TopKSparsifier(0.5).compress(w)
+        with pytest.raises(ValueError):
+            UniformQuantizer(8).decompress(payload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKSparsifier(0.0)
+        with pytest.raises(ValueError):
+            TopKSparsifier(1.5)
+
+
+class TestQuantizer:
+    def test_roundtrip_error_bound(self):
+        w = sample_weights(2)
+        q = UniformQuantizer(bits=8)
+        back = q.decompress(q.compress(w))
+        bound = q.max_roundtrip_error(w)
+        for a, b in zip(w, back):
+            assert np.abs(a - b).max() <= bound
+
+    def test_more_bits_less_error(self):
+        w = sample_weights(3)
+        err = {}
+        for bits in (4, 8, 12):
+            q = UniformQuantizer(bits)
+            back = q.decompress(q.compress(w))
+            err[bits] = max(np.abs(a - b).max() for a, b in zip(w, back))
+        assert err[12] < err[8] < err[4]
+
+    def test_constant_array_exact(self):
+        w = [np.full((4, 4), 3.25)]
+        q = UniformQuantizer(8)
+        back = q.decompress(q.compress(w))[0]
+        assert np.allclose(back, 3.25)
+
+    def test_byte_accounting(self):
+        w = [np.zeros(100)]
+        payload = UniformQuantizer(8).compress(w)
+        assert payload.nbytes == 100 + 16  # 1 B/entry + 2 scale floats
+        assert compression_ratio(w, payload) == pytest.approx(800 / 116)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(17)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 40),
+                   elements=st.floats(-1e3, 1e3, allow_nan=False)),
+        st.integers(2, 12),
+    )
+    def test_quantizer_roundtrip_property(self, arr, bits):
+        q = UniformQuantizer(bits)
+        back = q.decompress(q.compress([arr]))[0]
+        span = arr.max() - arr.min()
+        step = span / ((1 << bits) - 1) if span > 0 else 0.0
+        assert np.abs(arr - back).max() <= step / 2 + 1e-9
+
+
+class TestIntegrationWithFedAvg:
+    def test_compressed_broadcast_still_aggregates(self):
+        """Quantised weights remain valid FedAvg inputs."""
+        from repro.nn.serialization import average_weights
+
+        a, b = sample_weights(4), sample_weights(5)
+        q = UniformQuantizer(8)
+        a_wire = q.decompress(q.compress(a))
+        b_wire = q.decompress(q.compress(b))
+        merged = average_weights([a_wire, b_wire])
+        exact = average_weights([a, b])
+        for m, e in zip(merged, exact):
+            assert np.abs(m - e).max() < 0.05  # bounded by quantisation

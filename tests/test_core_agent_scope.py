@@ -1,0 +1,105 @@
+"""Tests for the per-device agent scope of the PFDRL trainer."""
+
+import numpy as np
+import pytest
+
+from repro.config import DQNConfig, FederationConfig
+from repro.core.pfdrl import PFDRLTrainer
+from repro.core.streams import build_streams
+from repro.data import generate_neighborhood
+from repro.nn.serialization import weights_allclose
+
+
+@pytest.fixture(scope="module")
+def streams():
+    ds = generate_neighborhood(
+        n_residences=3, n_days=2, minutes_per_day=240,
+        device_types=("tv", "light"), seed=23,
+    )
+    return build_streams(ds)
+
+
+@pytest.fixture(scope="module")
+def dqn_config():
+    return DQNConfig(
+        hidden_width=8, learning_rate=0.01, batch_size=8,
+        memory_capacity=200, epsilon_decay_steps=200,
+        learn_every=4, reward_scale=1 / 30,
+    )
+
+
+def make(streams, dqn_config, scope, sharing="personalized"):
+    return PFDRLTrainer(
+        streams,
+        dqn_config=dqn_config,
+        federation_config=FederationConfig(alpha=4, gamma_hours=6.0),
+        sharing=sharing,
+        agent_scope=scope,
+        seed=0,
+    )
+
+
+class TestConstruction:
+    def test_residence_scope_one_agent_per_home(self, streams, dqn_config):
+        tr = make(streams, dqn_config, "residence")
+        assert len(tr.agents) == 3
+        # Same agent object serves every device of a home.
+        assert tr.agent_for(0, "tv") is tr.agent_for(0, "light")
+        assert tr.agent_for(0, "tv") is not tr.agent_for(1, "tv")
+
+    def test_device_scope_one_agent_per_pair(self, streams, dqn_config):
+        tr = make(streams, dqn_config, "device")
+        assert len(tr.agents) == 3 * 2
+        assert tr.agent_for(0, "tv") is not tr.agent_for(0, "light")
+
+    def test_share_groups(self, streams, dqn_config):
+        res = make(streams, dqn_config, "residence")
+        assert len(res._share_groups) == 1
+        dev = make(streams, dqn_config, "device")
+        assert len(dev._share_groups) == 2  # one per device type
+
+    def test_invalid_scope_rejected(self, streams, dqn_config):
+        with pytest.raises(ValueError):
+            make(streams, dqn_config, "galaxy")
+
+
+class TestDeviceScopeTraining:
+    def test_trains_and_saves(self, streams, dqn_config):
+        tr = make(streams, dqn_config, "device")
+        tr.run(2)
+        tr.finalize()
+        ev = tr.evaluate()
+        assert np.all(np.isfinite(ev.saved_standby_kwh))
+        assert ev.saved_standby_fraction > 0.3
+
+    def test_full_sharing_syncs_within_device_groups_only(self, streams, dqn_config):
+        tr = make(streams, dqn_config, "device", sharing="full")
+        tr.run_day()
+        tr._share_round()
+        # Same device type across homes: identical weights.
+        assert weights_allclose(
+            tr.agent_for(0, "tv").get_weights(), tr.agent_for(1, "tv").get_weights()
+        )
+        # Different device types: distinct models.
+        assert not weights_allclose(
+            tr.agent_for(0, "tv").get_weights(), tr.agent_for(0, "light").get_weights()
+        )
+
+    def test_personalized_sharing_stays_in_group(self, streams, dqn_config):
+        tr = make(streams, dqn_config, "device")
+        tr.run_day()
+        tr._share_round()
+        mgr = tr._managers[(0, "tv")]
+        w_tv0 = tr.agent_for(0, "tv").get_weights()
+        w_tv1 = tr.agent_for(1, "tv").get_weights()
+        # Base layers merged within the tv group.
+        for i in mgr.base_idx:
+            assert np.allclose(w_tv0[i], w_tv1[i])
+
+    def test_broadcast_volume_scales_with_agents(self, streams, dqn_config):
+        res = make(streams, dqn_config, "residence")
+        dev = make(streams, dqn_config, "device")
+        res.run_day()
+        dev.run_day()
+        # Twice the agents -> twice the broadcast payloads per event.
+        assert dev._params_broadcast == pytest.approx(2 * res._params_broadcast)

@@ -1,0 +1,174 @@
+"""Tests for personalization split and the PFDRL trainer (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DQNConfig, FederationConfig
+from repro.core.personalization import PersonalizationManager
+from repro.core.pfdrl import PFDRLTrainer
+from repro.core.streams import build_streams
+from repro.data import generate_neighborhood
+from repro.nn.serialization import get_weights, weights_allclose
+from repro.rl.dqn import DQNAgent
+
+
+@pytest.fixture(scope="module")
+def dqn_config():
+    return DQNConfig(
+        hidden_width=10, learning_rate=0.01, epsilon_decay_steps=200,
+        batch_size=8, memory_capacity=200, learn_every=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def streams():
+    ds = generate_neighborhood(
+        n_residences=3, n_days=2, minutes_per_day=240,
+        device_types=("tv", "light"), seed=17,
+    )
+    return build_streams(ds)
+
+
+class TestPersonalizationManager:
+    def test_alpha_splits_parameter_arrays(self, dqn_config):
+        agent = DQNAgent(dqn_config, seed=0)
+        mgr = PersonalizationManager(agent, alpha=6)
+        # 6 base hidden layers x (W, b) = 12 arrays on the wire.
+        assert len(mgr.base_idx) == 12
+        # 2 remaining hidden + output = 6 personal arrays.
+        assert len(mgr.personal_idx) == 6
+        assert mgr.n_base_params() < mgr.n_total_params()
+
+    def test_alpha_zero_and_full(self, dqn_config):
+        agent = DQNAgent(dqn_config, seed=0)
+        assert PersonalizationManager(agent, 0).base_idx == []
+        full = PersonalizationManager(agent, 8)
+        # All hidden layers shared; the output layer stays personal.
+        assert len(full.base_idx) == 16
+        assert len(full.personal_idx) == 2
+
+    def test_alpha_bounds(self, dqn_config):
+        agent = DQNAgent(dqn_config, seed=0)
+        with pytest.raises(ValueError):
+            PersonalizationManager(agent, 9)
+
+    def test_aggregation_preserves_personal_layers(self, dqn_config):
+        a = DQNAgent(dqn_config, seed=0)
+        b = DQNAgent(dqn_config, seed=1)
+        mgr = PersonalizationManager(a, alpha=4)
+        personal_before = [a.get_weights()[i] for i in mgr.personal_idx]
+        mgr.apply_aggregation([PersonalizationManager(b, 4).base_weights()])
+        w_after = a.get_weights()
+        for i, before in zip(mgr.personal_idx, personal_before):
+            assert np.allclose(w_after[i], before)
+        # Base layers became the two-model average.
+        wb = b.get_weights()
+        for j, i in enumerate(mgr.base_idx):
+            pass  # spot check first one below
+        i0 = mgr.base_idx[0]
+        a_fresh = DQNAgent(dqn_config, seed=0).get_weights()[i0]
+        assert np.allclose(w_after[i0], (a_fresh + wb[i0]) / 2)
+
+    def test_empty_aggregation_is_noop(self, dqn_config):
+        a = DQNAgent(dqn_config, seed=0)
+        mgr = PersonalizationManager(a, alpha=4)
+        before = get_weights(a.qnet)
+        mgr.apply_aggregation([])
+        assert weights_allclose(get_weights(a.qnet), before)
+
+    def test_target_resync_on_aggregation(self, dqn_config):
+        a = DQNAgent(dqn_config, seed=0)
+        b = DQNAgent(dqn_config, seed=1)
+        mgr = PersonalizationManager(a, alpha=4)
+        mgr.apply_aggregation([PersonalizationManager(b, 4).base_weights()])
+        assert weights_allclose(get_weights(a.qnet), get_weights(a.target))
+
+
+class TestPFDRLTrainer:
+    def make(self, streams, dqn_config, sharing="personalized", gamma=6.0, alpha=6):
+        return PFDRLTrainer(
+            streams,
+            dqn_config=dqn_config,
+            federation_config=FederationConfig(alpha=alpha, gamma_hours=gamma),
+            sharing=sharing,
+            seed=0,
+        )
+
+    def test_run_day_result_fields(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config)
+        r = tr.run_day()
+        assert r.day == 0
+        assert np.isfinite(r.mean_reward)
+        assert r.sgd_steps > 0
+        assert r.n_broadcast_events == 3  # gamma=6h on 240-min day
+
+    def test_sharing_none_never_communicates(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config, sharing="none")
+        tr.run_day()
+        assert tr.bus.stats.n_messages == 0
+        assert tr._params_broadcast == 0
+
+    def test_personalized_broadcasts_only_base(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config, sharing="personalized", alpha=2)
+        tr.run_day()
+        per_event_per_agent = tr.managers[0].n_base_params()
+        assert tr.bus.stats.n_params > 0
+        # Every message carries exactly the base parameter count.
+        assert tr.bus.stats.n_params % per_event_per_agent == 0
+
+    def test_full_sharing_syncs_all_agents(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config, sharing="full")
+        tr.run_day()
+        tr._share_round()
+        w0 = tr.agents[0].get_weights()
+        for agent in tr.agents[1:]:
+            assert weights_allclose(agent.get_weights(), w0)
+
+    def test_personalized_keeps_personal_layers_distinct(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config, sharing="personalized", alpha=4)
+        tr.run_day()
+        tr._share_round()
+        mgr0, mgr1 = tr.managers[0], tr.managers[1]
+        w0, w1 = tr.agents[0].get_weights(), tr.agents[1].get_weights()
+        # Base layers equal after a share round...
+        for i in mgr0.base_idx:
+            assert np.allclose(w0[i], w1[i])
+        # ...personal layers differ (different seeds + different data).
+        assert any(not np.allclose(w0[i], w1[i]) for i in mgr0.personal_idx)
+
+    def test_rewind_keeps_weights(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config)
+        tr.run_day()
+        w = tr.agents[0].get_weights()
+        tr.rewind()
+        assert tr.minutes_trained == 0
+        assert weights_allclose(tr.agents[0].get_weights(), w)
+
+    def test_evaluation_structure(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config)
+        tr.run(2)
+        ev = tr.evaluate()
+        n = len(streams)
+        assert ev.saved_standby_kwh.shape == (n,)
+        assert ev.saved_kw.shape == (n, streams[0].n_minutes)
+        assert np.all(ev.total_standby_kwh >= 0)
+        assert np.isfinite(ev.saved_standby_fraction)
+        assert -1.0 <= ev.saved_standby_fraction <= 1.0
+
+    def test_trained_agents_save_standby_energy(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config)
+        for _ in range(3):
+            tr.rewind()
+            tr.run(2)
+        ev = tr.evaluate()
+        assert ev.saved_standby_fraction > 0.5
+
+    def test_invalid_sharing_rejected(self, streams, dqn_config):
+        with pytest.raises(ValueError):
+            self.make(streams, dqn_config, sharing="psychic")
+
+    def test_eval_stream_count_checked(self, streams, dqn_config):
+        tr = self.make(streams, dqn_config)
+        tr.run_day()
+        with pytest.raises(ValueError):
+            tr.evaluate(streams[:1])

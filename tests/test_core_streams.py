@@ -1,0 +1,102 @@
+"""Tests for stream assembly (DFL output -> DRL input)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FederationConfig, ForecastConfig
+from repro.core.streams import DeviceStream, ResidenceStream, build_streams, naive_predictions
+from repro.data import generate_neighborhood
+from repro.federated.dfl import DFLTrainer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_neighborhood(
+        n_residences=2, n_days=3, minutes_per_day=240,
+        device_types=("tv", "light"), seed=13,
+    )
+
+
+class TestNaivePredictions:
+    def test_persistence_shifts_by_horizon(self):
+        s = np.arange(10.0)
+        p = naive_predictions(s, horizon=3)
+        assert np.allclose(p[3:], s[:-3])
+        assert np.allclose(p[:3], s[:3])
+
+    def test_short_series_passthrough(self):
+        s = np.arange(3.0)
+        assert np.allclose(naive_predictions(s, horizon=5), s)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            naive_predictions(np.zeros(5), 0)
+
+
+class TestDeviceStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceStream("tv", np.zeros(5), np.zeros(4), np.zeros(5, dtype=np.int8), 1.0, 0.1)
+        with pytest.raises(ValueError):
+            DeviceStream("tv", np.zeros(5), np.zeros(5), np.zeros(5, dtype=np.int8), 0.0, 0.1)
+
+    def test_slice(self):
+        s = DeviceStream(
+            "tv", np.arange(10.0), np.arange(10.0), np.zeros(10, dtype=np.int8), 1.0, 0.1
+        )
+        sub = s.slice(2, 5)
+        assert len(sub) == 3
+        assert np.allclose(sub.real_kw, [2, 3, 4])
+
+
+class TestResidenceStream:
+    def test_inconsistent_lengths_rejected(self):
+        a = DeviceStream("tv", np.zeros(5), np.zeros(5), np.zeros(5, dtype=np.int8), 1.0, 0.1)
+        b = DeviceStream("tv", np.zeros(6), np.zeros(6), np.zeros(6, dtype=np.int8), 1.0, 0.1)
+        with pytest.raises(ValueError):
+            ResidenceStream(0, {"a": a, "b": b}, minutes_per_day=5)
+
+
+class TestBuildStreams:
+    def test_fallback_without_trainer(self, dataset):
+        streams = build_streams(dataset)
+        assert len(streams) == dataset.n_residences
+        for stream, res in zip(streams, dataset.residences):
+            assert stream.n_minutes == dataset.n_minutes
+            for dev, trace in res:
+                ds = stream.devices[dev]
+                assert np.allclose(ds.real_kw, trace.power_kw)
+                assert np.array_equal(ds.mode, trace.mode)
+
+    def test_with_trained_dfl(self, dataset):
+        train = dataset.slice_days(0, 2)
+        tr = DFLTrainer(
+            train,
+            forecast_config=ForecastConfig(model="lr", window=10, horizon=10),
+            federation_config=FederationConfig(beta_hours=6.0),
+            seed=0,
+        )
+        tr.run(2)
+        streams = build_streams(train, tr, t0=0)
+        for stream in streams:
+            for ds in stream.devices.values():
+                assert np.all(np.isfinite(ds.predicted_kw))
+                assert np.all(ds.predicted_kw >= 0)
+                # Predictions differ from pure persistence somewhere.
+                assert not np.allclose(
+                    ds.predicted_kw, naive_predictions(ds.real_kw, 10)
+                )
+
+    def test_prediction_quality_reasonable(self, dataset):
+        """Forecaster-backed streams shouldn't be wildly out of range."""
+        train = dataset.slice_days(0, 2)
+        tr = DFLTrainer(
+            train,
+            forecast_config=ForecastConfig(model="lr", window=10, horizon=10),
+            seed=0,
+        )
+        tr.run(2)
+        streams = build_streams(train, tr, t0=0)
+        for stream in streams:
+            for ds in stream.devices.values():
+                assert ds.predicted_kw.max() <= ds.on_kw * 3

@@ -1,0 +1,76 @@
+"""Tests for the end-to-end PFDRLSystem pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DataConfig,
+    DQNConfig,
+    FederationConfig,
+    ForecastConfig,
+    PFDRLConfig,
+)
+from repro.core import PFDRLSystem
+from repro.data import generate_neighborhood
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PFDRLConfig(
+        data=DataConfig(
+            n_residences=3, n_days=4, minutes_per_day=240,
+            device_types=("tv", "light"), seed=5,
+        ),
+        forecast=ForecastConfig(model="lr", window=10, horizon=10),
+        dqn=DQNConfig(
+            hidden_width=10, learning_rate=0.01, epsilon_decay_steps=300,
+            batch_size=8, learn_every=2, memory_capacity=300,
+        ),
+        federation=FederationConfig(beta_hours=6, gamma_hours=6),
+        episodes=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return PFDRLSystem(config).run()
+
+
+class TestPipeline:
+    def test_split_sizes(self, config):
+        system = PFDRLSystem(config)
+        assert system.n_train_days == 3
+        assert system.n_test_days == 1
+        assert system.train_data.n_minutes == 3 * 240
+        assert system.test_data.n_minutes == 240
+
+    def test_result_fields(self, result):
+        assert 0.0 <= result.forecast_accuracy <= 1.0
+        assert len(result.dfl_history) == 3
+        assert len(result.drl_history) == 6  # 2 episodes x 3 days
+        assert result.n_train_days == 3 and result.n_test_days == 1
+
+    def test_ems_saves_energy(self, result):
+        assert result.ems.saved_standby_fraction > 0.3
+        assert np.all(result.ems.total_standby_kwh > 0)
+
+    def test_stage_order_enforced(self, config):
+        system = PFDRLSystem(config)
+        with pytest.raises(RuntimeError):
+            system.run_energy_management()
+        with pytest.raises(RuntimeError):
+            system.evaluate()
+
+    def test_shared_dataset_injection(self, config):
+        ds = generate_neighborhood(config.data)
+        a = PFDRLSystem(config, dataset=ds)
+        b = PFDRLSystem(config, dataset=ds)
+        assert a.dataset is b.dataset
+
+    def test_deterministic_given_seed(self, config):
+        r1 = PFDRLSystem(config).run()
+        r2 = PFDRLSystem(config).run()
+        assert r1.forecast_accuracy == pytest.approx(r2.forecast_accuracy)
+        assert r1.ems.saved_standby_fraction == pytest.approx(
+            r2.ems.saved_standby_fraction
+        )

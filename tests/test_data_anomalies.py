@@ -1,0 +1,115 @@
+"""Tests for failure injection and pipeline robustness under it."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_neighborhood
+from repro.data.anomalies import (
+    corrupt_dataset,
+    inject_dropout,
+    inject_spikes,
+    inject_stuck,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    ds = generate_neighborhood(
+        n_residences=1, n_days=2, minutes_per_day=240, device_types=("tv",), seed=9
+    )
+    return ds[0]["tv"]
+
+
+class TestInjectors:
+    def test_dropout_zeroes_fraction(self, trace):
+        out = inject_dropout(trace, rate=0.2, seed=1)
+        zeroed = np.count_nonzero(trace.power_kw) - np.count_nonzero(out.power_kw)
+        assert zeroed >= 0.15 * len(trace)
+        # Ground truth untouched.
+        assert np.array_equal(out.mode, trace.mode)
+        # Original trace not mutated.
+        assert np.count_nonzero(trace.power_kw) > 0
+
+    def test_dropout_zero_rate_is_identity(self, trace):
+        out = inject_dropout(trace, rate=0.0, seed=1)
+        assert np.array_equal(out.power_kw, trace.power_kw)
+
+    def test_spikes_raise_values(self, trace):
+        out = inject_spikes(trace, rate=0.05, magnitude=10.0, seed=2)
+        assert out.power_kw.max() >= trace.on_kw * 9
+        n_changed = np.count_nonzero(out.power_kw != trace.power_kw)
+        assert n_changed == int(0.05 * len(trace))
+
+    def test_stuck_freezes_window(self, trace):
+        out = inject_stuck(trace, start=10, length=30)
+        assert np.all(out.power_kw[10:40] == out.power_kw[10])
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            inject_dropout(trace, rate=1.5)
+        with pytest.raises(ValueError):
+            inject_spikes(trace, rate=0.1, magnitude=0.0)
+        with pytest.raises(ValueError):
+            inject_stuck(trace, start=-1, length=5)
+
+    def test_corrupt_dataset_structure(self):
+        ds = generate_neighborhood(
+            n_residences=2, n_days=1, minutes_per_day=240,
+            device_types=("tv", "light"), seed=3,
+        )
+        bad = corrupt_dataset(ds, dropout_rate=0.1, spike_rate=0.02, seed=4)
+        assert bad.n_residences == ds.n_residences
+        assert bad.n_minutes == ds.n_minutes
+        assert not np.array_equal(bad[0]["tv"].power_kw, ds[0]["tv"].power_kw)
+
+
+class TestPipelineRobustness:
+    def test_forecasting_survives_corruption(self):
+        """The DFL stage must degrade, not crash, under sensor failures."""
+        from repro.config import FederationConfig, ForecastConfig
+        from repro.federated.dfl import DFLTrainer
+
+        ds = generate_neighborhood(
+            n_residences=3, n_days=3, minutes_per_day=240,
+            device_types=("tv", "light"), seed=5,
+        )
+        clean_train, test = ds.slice_days(0, 2), ds.slice_days(2, 3)
+        dirty_train = corrupt_dataset(clean_train, dropout_rate=0.15, spike_rate=0.02)
+
+        accs = {}
+        for label, train in (("clean", clean_train), ("dirty", dirty_train)):
+            tr = DFLTrainer(
+                train,
+                forecast_config=ForecastConfig(model="lr", window=10, horizon=10),
+                federation_config=FederationConfig(beta_hours=6.0),
+                seed=0,
+            )
+            tr.run(2)
+            accs[label] = tr.mean_accuracy(test)
+        assert np.isfinite(accs["dirty"])
+        # Corruption hurts but does not destroy the forecaster.
+        assert accs["dirty"] >= accs["clean"] - 0.35
+
+    def test_ems_survives_corruption(self):
+        """The DQN stage must handle spiky/dropped-out streams."""
+        from repro.core.pfdrl import PFDRLTrainer
+        from repro.core.streams import build_streams
+
+        ds = generate_neighborhood(
+            n_residences=2, n_days=2, minutes_per_day=240,
+            device_types=("tv", "light"), seed=6,
+        )
+        dirty = corrupt_dataset(ds, dropout_rate=0.1, spike_rate=0.02)
+        streams = build_streams(dirty)
+        from repro.config import DQNConfig, FederationConfig
+
+        trainer = PFDRLTrainer(
+            streams,
+            dqn_config=DQNConfig(hidden_width=8, learn_every=6, reward_scale=1 / 30),
+            federation_config=FederationConfig(gamma_hours=6.0),
+            sharing="personalized",
+            seed=0,
+        )
+        trainer.run(2)
+        ev = trainer.evaluate()
+        assert np.all(np.isfinite(ev.saved_standby_kwh))

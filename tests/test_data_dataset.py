@@ -1,0 +1,118 @@
+"""Tests for dataset containers and the chronological split."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import (
+    DeviceTrace,
+    NeighborhoodDataset,
+    ResidenceData,
+    train_test_split_trace,
+)
+
+
+def make_trace(n=100, device="tv", on=0.1, standby=0.01):
+    power = np.linspace(0, on, n)
+    mode = np.zeros(n, dtype=np.int8)
+    mode[n // 3 : 2 * n // 3] = 1
+    mode[2 * n // 3 :] = 2
+    return DeviceTrace(device=device, power_kw=power, mode=mode, on_kw=on, standby_kw=standby)
+
+
+class TestDeviceTrace:
+    def test_length_and_energy(self):
+        t = DeviceTrace("tv", np.full(60, 0.6), np.full(60, 2, dtype=np.int8), 0.6, 0.06)
+        assert len(t) == 60
+        assert t.energy_kwh() == pytest.approx(0.6)  # 0.6 kW for 1 hour
+
+    def test_standby_energy_only_counts_standby(self):
+        power = np.asarray([1.0, 1.0, 0.1, 0.1])
+        mode = np.asarray([2, 2, 1, 1], dtype=np.int8)
+        t = DeviceTrace("tv", power, mode, 1.0, 0.1)
+        assert t.standby_energy_kwh() == pytest.approx(0.2 / 60.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DeviceTrace("tv", np.zeros(5), np.zeros(4, dtype=np.int8), 0.1, 0.01)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            DeviceTrace("tv", np.asarray([-1.0]), np.asarray([0], dtype=np.int8), 0.1, 0.01)
+
+    def test_rejects_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DeviceTrace("tv", np.asarray([0.0]), np.asarray([5], dtype=np.int8), 0.1, 0.01)
+
+    def test_slice_is_view_like(self):
+        t = make_trace(100)
+        s = t.slice(10, 20)
+        assert len(s) == 10
+        assert s.on_kw == t.on_kw
+        assert np.array_equal(s.power_kw, t.power_kw[10:20])
+
+
+class TestResidenceData:
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ResidenceData(0, {"a": make_trace(10), "b": make_trace(20)})
+
+    def test_totals_sum_devices(self):
+        r = ResidenceData(0, {"a": make_trace(60), "b": make_trace(60)})
+        assert r.total_energy_kwh() == pytest.approx(2 * make_trace(60).energy_kwh())
+
+    def test_iteration(self):
+        r = ResidenceData(0, {"a": make_trace(10), "b": make_trace(10)})
+        assert dict(r).keys() == {"a", "b"}
+
+
+class TestNeighborhoodDataset:
+    def make(self, n_res=2, n_min=480, mpd=240):
+        residences = [
+            ResidenceData(i, {"tv": make_trace(n_min)}) for i in range(n_res)
+        ]
+        return NeighborhoodDataset(residences, minutes_per_day=mpd)
+
+    def test_calendar_coordinates(self):
+        ds = self.make()
+        assert ds.n_days == 2.0
+        mod = ds.minute_of_day()
+        assert mod[0] == 0 and mod[239] == 239 and mod[240] == 0
+        assert ds.day_index()[240] == 1
+        hours = ds.hour_of_day()
+        assert hours.max() == 23  # 240-min day still spans 24 "hours"
+
+    def test_slice_days(self):
+        ds = self.make()
+        d1 = ds.slice_days(1, 2)
+        assert d1.n_minutes == 240
+        assert np.array_equal(
+            d1[0]["tv"].power_kw, ds[0]["tv"].power_kw[240:480]
+        )
+
+    def test_inconsistent_residences_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborhoodDataset(
+                [
+                    ResidenceData(0, {"tv": make_trace(10)}),
+                    ResidenceData(1, {"tv": make_trace(20)}),
+                ],
+                minutes_per_day=10,
+            )
+
+
+class TestTrainTestSplit:
+    def test_chronological_80_20(self):
+        t = make_trace(100)
+        train, test = train_test_split_trace(t, 0.8)
+        assert len(train) == 80 and len(test) == 20
+        assert np.array_equal(train.power_kw, t.power_kw[:80])
+        assert np.array_equal(test.power_kw, t.power_kw[80:])
+
+    def test_never_empty_sides(self):
+        t = make_trace(10)
+        train, test = train_test_split_trace(t, 0.999)
+        assert len(train) >= 1 and len(test) >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split_trace(make_trace(10), 1.0)

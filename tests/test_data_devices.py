@@ -1,0 +1,84 @@
+"""Tests for the device catalog."""
+
+import numpy as np
+import pytest
+
+from repro.data.devices import (
+    DEVICE_CATALOG,
+    MODE_OFF,
+    MODE_ON,
+    MODE_STANDBY,
+    DeviceSpec,
+    get_device_spec,
+)
+
+
+class TestCatalog:
+    def test_catalog_is_nonempty_and_valid(self):
+        assert len(DEVICE_CATALOG) >= 5
+        for name, spec in DEVICE_CATALOG.items():
+            assert spec.name == name
+            assert spec.on_kw > spec.standby_kw >= 0
+
+    def test_get_known_device(self):
+        assert get_device_spec("tv").name == "tv"
+
+    def test_get_unknown_device_lists_known(self):
+        with pytest.raises(KeyError, match="tv"):
+            get_device_spec("flux_capacitor")
+
+
+class TestDeviceSpec:
+    def test_mode_power_levels(self):
+        spec = get_device_spec("tv")
+        assert spec.mode_power_kw(MODE_OFF) == 0.0
+        assert spec.mode_power_kw(MODE_STANDBY) == spec.standby_kw
+        assert spec.mode_power_kw(MODE_ON) == spec.on_kw
+
+    def test_mode_power_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            get_device_spec("tv").mode_power_kw(7)
+
+    def test_validation_standby_below_on(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", on_kw=0.1, standby_kw=0.2,
+                usage_peaks=(12.0,), usage_widths=(1.0,), usage_scale=0.5,
+            )
+
+    def test_validation_mismatched_peaks(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", on_kw=0.2, standby_kw=0.01,
+                usage_peaks=(12.0, 18.0), usage_widths=(1.0,), usage_scale=0.5,
+            )
+
+
+class TestUsageProbability:
+    def test_bounded_and_peaked(self):
+        spec = get_device_spec("tv")
+        hours = np.linspace(0, 24, 97)
+        p = spec.usage_probability(hours)
+        assert np.all((p >= 0) & (p <= 1))
+        # Peak probability reaches the configured scale (up to the grid).
+        assert p.max() == pytest.approx(spec.usage_scale, rel=1e-3)
+
+    def test_evening_device_peaks_in_evening(self):
+        spec = get_device_spec("tv")
+        assert spec.usage_probability(np.asarray([20.0]))[0] > spec.usage_probability(
+            np.asarray([4.0])
+        )[0]
+
+    def test_wraps_around_midnight(self):
+        spec = DeviceSpec(
+            name="night", on_kw=0.1, standby_kw=0.01,
+            usage_peaks=(23.5,), usage_widths=(1.0,), usage_scale=0.5,
+        )
+        p0 = spec.usage_probability(np.asarray([0.2]))[0]
+        p12 = spec.usage_probability(np.asarray([12.0]))[0]
+        assert p0 > p12  # 00:12 is close to 23:30 on the circle
+
+    def test_always_on_is_flat(self):
+        spec = get_device_spec("fridge")
+        p = spec.usage_probability(np.linspace(0, 24, 25))
+        assert np.allclose(p, p[0])

@@ -1,0 +1,135 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import DataConfig
+from repro.data.dataset import NeighborhoodDataset
+from repro.data.devices import MODE_OFF, MODE_ON, MODE_STANDBY
+from repro.data.generator import TraceGenerator, generate_neighborhood, seasonal_factor
+from repro.data.residence import make_profiles
+
+
+@pytest.fixture(scope="module")
+def dataset() -> NeighborhoodDataset:
+    return generate_neighborhood(
+        n_residences=4, n_days=3, minutes_per_day=480,
+        device_types=("tv", "hvac", "light", "fridge"), seed=3,
+    )
+
+
+class TestShapes:
+    def test_dimensions(self, dataset):
+        assert dataset.n_residences == 4
+        assert dataset.n_minutes == 3 * 480
+        for res in dataset.residences:
+            assert set(res.device_types) == {"tv", "hvac", "light", "fridge"}
+
+    def test_deterministic(self):
+        a = generate_neighborhood(n_residences=2, n_days=1, minutes_per_day=240, seed=5)
+        b = generate_neighborhood(n_residences=2, n_days=1, minutes_per_day=240, seed=5)
+        assert np.array_equal(a[0]["tv"].power_kw, b[0]["tv"].power_kw)
+
+    def test_seeds_differ(self):
+        a = generate_neighborhood(n_residences=1, n_days=1, minutes_per_day=240, seed=5)
+        b = generate_neighborhood(n_residences=1, n_days=1, minutes_per_day=240, seed=6)
+        assert not np.array_equal(a[0]["tv"].power_kw, b[0]["tv"].power_kw)
+
+
+class TestModePowerConsistency:
+    def test_power_within_mode_bands(self, dataset):
+        """On/standby readings stay within the paper's ±10% window."""
+        for res in dataset.residences:
+            for dev, trace in res:
+                on = trace.mode == MODE_ON
+                sb = trace.mode == MODE_STANDBY
+                if on.any():
+                    assert np.all(trace.power_kw[on] >= 0.9 * trace.on_kw * 0.99)
+                    assert np.all(trace.power_kw[on] <= 1.1 * trace.on_kw * 1.01)
+                if sb.any():
+                    assert np.all(trace.power_kw[sb] >= 0.9 * trace.standby_kw * 0.99)
+                    assert np.all(trace.power_kw[sb] <= 1.1 * trace.standby_kw * 1.01)
+
+    def test_off_reads_at_most_sensor_floor(self, dataset):
+        for res in dataset.residences:
+            for dev, trace in res:
+                off = trace.mode == MODE_OFF
+                if off.any():
+                    # floor is < 0.9*standby, so off readings sit below the band
+                    assert np.all(trace.power_kw[off] < 0.9 * trace.standby_kw)
+
+    def test_power_non_negative(self, dataset):
+        for res in dataset.residences:
+            for dev, trace in res:
+                assert np.all(trace.power_kw >= 0)
+
+
+class TestBehaviour:
+    def test_always_on_devices_never_off(self, dataset):
+        for res in dataset.residences:
+            for dev in ("hvac", "fridge"):
+                assert not np.any(res[dev].mode == MODE_OFF)
+
+    def test_tv_used_more_in_evening_than_predawn(self):
+        ds = generate_neighborhood(
+            n_residences=6, n_days=10, minutes_per_day=1440,
+            device_types=("tv",), heterogeneity=0.0, seed=11,
+        )
+        minute = np.arange(ds.n_minutes) % 1440
+        evening = (minute >= 19 * 60) & (minute < 22 * 60)
+        predawn = (minute >= 2 * 60) & (minute < 5 * 60)
+        on_evening = np.mean([
+            np.mean(r["tv"].mode[evening] == MODE_ON) for r in ds.residences
+        ])
+        on_predawn = np.mean([
+            np.mean(r["tv"].mode[predawn] == MODE_ON) for r in ds.residences
+        ])
+        assert on_evening > on_predawn + 0.2
+
+    def test_standby_energy_exists(self, dataset):
+        """The waste the EMS recovers must exist in the workload."""
+        total_standby = sum(r.total_standby_energy_kwh() for r in dataset.residences)
+        assert total_standby > 0
+
+    def test_hvac_summer_heavier_than_winter(self):
+        cfg = DataConfig(
+            n_residences=1, n_days=360, minutes_per_day=96,
+            device_types=("hvac",), heterogeneity=0.0, seed=2,
+        )
+        ds = TraceGenerator(cfg).generate()
+        trace = ds[0]["hvac"]
+        day = np.arange(ds.n_minutes) // 96
+        summer = (day >= 170) & (day < 230)
+        winter = (day < 30) | (day >= 330)
+        assert trace.power_kw[summer].mean() > trace.power_kw[winter].mean()
+
+
+class TestSeasonalFactor:
+    def test_hvac_peaks_midsummer(self):
+        assert seasonal_factor(200.0, "hvac") > seasonal_factor(20.0, "hvac")
+
+    def test_scalar_and_array(self):
+        arr = seasonal_factor(np.asarray([0.0, 200.0]), "hvac")
+        assert arr.shape == (2,)
+        assert isinstance(seasonal_factor(0.0, "tv"), float)
+
+    def test_always_positive(self):
+        days = np.arange(365)
+        for dev in ("hvac", "tv"):
+            assert np.all(np.asarray(seasonal_factor(days, dev)) > 0)
+
+
+class TestGeneratorConfigHandling:
+    def test_overrides_on_existing_config(self):
+        base = DataConfig(n_residences=2, n_days=1, minutes_per_day=240)
+        ds = generate_neighborhood(base, n_residences=5)
+        assert ds.n_residences == 5
+
+    def test_profiles_feed_trace_nominals(self):
+        cfg = DataConfig(n_residences=2, n_days=1, minutes_per_day=240, seed=9)
+        profiles = make_profiles(2, cfg.device_types, cfg.heterogeneity, cfg.seed)
+        ds = TraceGenerator(cfg).generate()
+        for p, res in zip(profiles, ds.residences):
+            for dev in cfg.device_types:
+                assert res[dev].on_kw == pytest.approx(p.on_kw(dev))
+                assert res[dev].standby_kw == pytest.approx(p.standby_kw(dev))

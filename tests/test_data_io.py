@@ -1,0 +1,63 @@
+"""Tests for dataset persistence (NPZ + Pecan-Street-style CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_neighborhood
+from repro.data.io import export_csv, import_csv, load_npz, save_npz
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_neighborhood(
+        n_residences=2, n_days=1, minutes_per_day=240, device_types=("tv", "light"), seed=4
+    )
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_exact(self, dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_npz(dataset, path)
+        loaded = load_npz(path)
+        assert loaded.n_residences == dataset.n_residences
+        assert loaded.minutes_per_day == dataset.minutes_per_day
+        assert loaded.seed == dataset.seed
+        for a, b in zip(dataset.residences, loaded.residences):
+            assert a.residence_id == b.residence_id
+            for dev in a.device_types:
+                assert np.array_equal(a[dev].power_kw, b[dev].power_kw)
+                assert np.array_equal(a[dev].mode, b[dev].mode)
+                assert a[dev].on_kw == pytest.approx(b[dev].on_kw)
+                assert a[dev].standby_kw == pytest.approx(b[dev].standby_kw)
+
+
+class TestCsvRoundtrip:
+    def test_row_count(self, dataset, tmp_path):
+        path = tmp_path / "ds.csv"
+        n = export_csv(dataset, path)
+        assert n == dataset.n_residences * len(dataset.device_types) * dataset.n_minutes
+
+    def test_roundtrip_with_nominals(self, dataset, tmp_path):
+        path = tmp_path / "ds.csv"
+        export_csv(dataset, path)
+        nominals = {
+            dev: (dataset[0][dev].on_kw, dataset[0][dev].standby_kw)
+            for dev in dataset.device_types
+        }
+        loaded = import_csv(path, dataset.minutes_per_day, device_nominals=nominals)
+        assert loaded.n_residences == dataset.n_residences
+        orig = dataset[0]["tv"]
+        back = loaded[0]["tv"]
+        assert np.allclose(orig.power_kw, back.power_kw, atol=1e-6)
+        assert np.array_equal(orig.mode, back.mode)
+
+    def test_roundtrip_estimates_nominals(self, dataset, tmp_path):
+        """Without given nominals, levels are estimated from the data."""
+        path = tmp_path / "ds.csv"
+        export_csv(dataset, path)
+        loaded = import_csv(path, dataset.minutes_per_day)
+        for res_orig, res_back in zip(dataset.residences, loaded.residences):
+            for dev in res_orig.device_types:
+                t_orig, t_back = res_orig[dev], res_back[dev]
+                if np.any(t_orig.mode == 2):
+                    assert t_back.on_kw == pytest.approx(t_orig.on_kw, rel=0.15)

@@ -1,0 +1,69 @@
+"""Tests for electricity price plans."""
+
+import numpy as np
+import pytest
+
+from repro.data.pricing import (
+    FixedRatePlan,
+    PricePlan,
+    VariableRatePlan,
+    default_fixed_plan,
+    default_variable_plan,
+)
+
+
+class TestFixedRate:
+    def test_paper_rate(self):
+        assert default_fixed_plan().rate == pytest.approx(0.1167)
+
+    def test_price_independent_of_time(self):
+        plan = FixedRatePlan(rate=0.1)
+        p = plan.price_per_kwh(np.asarray([0.0, 12.0, 23.0]), np.asarray([0.0, 100.0, 300.0]))
+        assert np.allclose(p, 0.1)
+
+    def test_cost_is_energy_times_rate(self):
+        plan = FixedRatePlan(rate=0.2)
+        energy = np.asarray([1.0, 2.0, 3.0])
+        cost = plan.cost(energy, np.zeros(3), np.zeros(3))
+        assert cost == pytest.approx(0.2 * 6.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            FixedRatePlan(rate=0.0)
+
+
+class TestVariableRate:
+    def test_peak_hours_cost_more(self):
+        plan = default_variable_plan()
+        day = np.asarray([180.0])
+        peak = plan.price_per_kwh(np.asarray([16.0]), day)[0]
+        off = plan.price_per_kwh(np.asarray([3.0]), day)[0]
+        shoulder = plan.price_per_kwh(np.asarray([10.0]), day)[0]
+        assert off < shoulder < peak
+
+    def test_summer_peak_pricier_than_winter_peak(self):
+        plan = default_variable_plan()
+        summer = plan.price_per_kwh(np.asarray([16.0]), np.asarray([200.0]))[0]
+        winter = plan.price_per_kwh(np.asarray([16.0]), np.asarray([20.0]))[0]
+        assert summer > winter
+
+    def test_range_within_paper_bounds(self):
+        plan = default_variable_plan()
+        hours = np.tile(np.arange(24.0), 365)
+        days = np.repeat(np.arange(365.0), 24)
+        prices = plan.price_per_kwh(hours, days)
+        assert prices.min() >= 0.008 - 1e-9
+        assert prices.max() <= 0.20 * (1 + plan.seasonal_amplitude) + 1e-9
+
+    def test_rejects_unordered_tiers(self):
+        with pytest.raises(ValueError):
+            VariableRatePlan(off_peak=0.2, shoulder=0.1, peak=0.3)
+
+    def test_protocol_conformance(self):
+        assert isinstance(default_fixed_plan(), PricePlan)
+        assert isinstance(default_variable_plan(), PricePlan)
+
+    def test_broadcasting_hour_day(self):
+        plan = default_variable_plan()
+        p = plan.price_per_kwh(np.arange(24.0), 100.0)
+        assert p.shape == (24,)

@@ -1,0 +1,94 @@
+"""Tests for residence profiles and heterogeneity."""
+
+import numpy as np
+import pytest
+
+from repro.data.residence import ResidenceProfile, make_profiles
+
+
+class TestMakeProfiles:
+    def test_count_and_ids(self):
+        profiles = make_profiles(5, ("tv", "light"), 0.3, seed=1)
+        assert [p.residence_id for p in profiles] == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        a = make_profiles(3, ("tv",), 0.5, seed=2)
+        b = make_profiles(3, ("tv",), 0.5, seed=2)
+        for pa, pb in zip(a, b):
+            assert pa.schedule_shift_hours == pb.schedule_shift_hours
+            assert pa.power_scales == pb.power_scales
+            assert pa.background_standby == pb.background_standby
+
+    def test_adding_residences_keeps_existing_streams(self):
+        small = make_profiles(3, ("tv",), 0.5, seed=2)
+        big = make_profiles(6, ("tv",), 0.5, seed=2)
+        for ps, pb in zip(small, big):
+            assert ps.schedule_shift_hours == pb.schedule_shift_hours
+
+    def test_zero_heterogeneity_is_identical_schedules(self):
+        profiles = make_profiles(4, ("tv",), 0.0, seed=3)
+        shifts = {p.schedule_shift_hours for p in profiles}
+        assert shifts == {0.0}
+        scales = {p.power_scale("tv") for p in profiles}
+        assert scales == {1.0}
+
+    def test_heterogeneity_spreads_profiles(self):
+        profiles = make_profiles(20, ("tv",), 1.0, seed=4)
+        shifts = [p.schedule_shift_hours for p in profiles]
+        assert np.std(shifts) > 0.5
+
+    def test_rejects_bad_heterogeneity(self):
+        with pytest.raises(ValueError):
+            make_profiles(2, ("tv",), 1.5, seed=0)
+
+    def test_standby_scales_independent_of_power_scales(self):
+        profiles = make_profiles(30, ("tv",), 1.0, seed=5)
+        ratios = [p.standby_kw("tv") / p.on_kw("tv") for p in profiles]
+        # If standby scaled identically with on power, all ratios would match.
+        assert np.std(ratios) > 0
+
+    def test_sensor_floor_below_standby_scale(self):
+        for p in make_profiles(20, ("tv", "hvac"), 1.0, seed=6):
+            for dev in p.device_types:
+                assert p.sensor_floor(dev) >= 0
+
+
+class TestResidenceProfile:
+    def test_usage_probability_shifts_schedule(self):
+        base = make_profiles(1, ("tv",), 0.0, seed=0)[0]
+        shifted = ResidenceProfile(
+            residence_id=1,
+            device_types=("tv",),
+            schedule_shift_hours=3.0,
+            usage_intensity=1.0,
+            standby_discipline=0.8,
+        )
+        hours = np.linspace(0, 24, 241)
+        p_base = base.usage_probability("tv", hours)
+        p_shift = shifted.usage_probability("tv", hours)
+        # The shifted peak occurs ~3h later.
+        assert abs(hours[np.argmax(p_shift)] - hours[np.argmax(p_base)] - 3.0) < 0.5
+
+    def test_validates_devices(self):
+        with pytest.raises(KeyError):
+            ResidenceProfile(
+                residence_id=0,
+                device_types=("nonexistent",),
+                schedule_shift_hours=0.0,
+                usage_intensity=1.0,
+                standby_discipline=0.5,
+            )
+
+    def test_validates_discipline_range(self):
+        with pytest.raises(ValueError):
+            ResidenceProfile(
+                residence_id=0,
+                device_types=("tv",),
+                schedule_shift_hours=0.0,
+                usage_intensity=1.0,
+                standby_discipline=1.5,
+            )
+
+    def test_power_scale_default_one(self):
+        p = make_profiles(1, ("tv",), 0.0, seed=0)[0]
+        assert p.power_scale("unlisted_device") == 1.0

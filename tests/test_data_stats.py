@@ -1,0 +1,70 @@
+"""Tests for workload characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_neighborhood
+from repro.data.stats import characterize, schedule_divergence
+
+
+class TestCharacterize:
+    def test_summary_fields(self):
+        ds = generate_neighborhood(
+            n_residences=4, n_days=2, minutes_per_day=240,
+            device_types=("tv", "light"), seed=2,
+        )
+        stats = characterize(ds)
+        assert stats.n_residences == 4
+        assert stats.total_kwh > 0
+        assert 0 < stats.standby_kwh < stats.total_kwh
+        assert 0 < stats.standby_share < 1
+        assert set(stats.standby_by_device) == {"tv", "light"}
+        assert stats.standby_by_device["tv"] == pytest.approx(
+            sum(r["tv"].standby_energy_kwh() for r in ds.residences)
+        )
+        text = stats.to_text()
+        assert "standby" in text and "tv" in text
+
+    def test_standby_share_meaningful(self):
+        """Standby is a noticeable-but-minority share (paper cites ~10%)."""
+        ds = generate_neighborhood(
+            n_residences=6, n_days=3, minutes_per_day=240, seed=3,
+        )
+        stats = characterize(ds)
+        assert 0.002 < stats.standby_share < 0.5
+
+    def test_level_spread_grows_with_heterogeneity(self):
+        lo = characterize(generate_neighborhood(
+            n_residences=8, n_days=1, minutes_per_day=240,
+            device_types=("tv",), heterogeneity=0.05, seed=4,
+        ))
+        hi = characterize(generate_neighborhood(
+            n_residences=8, n_days=1, minutes_per_day=240,
+            device_types=("tv",), heterogeneity=1.0, seed=4,
+        ))
+        assert hi.standby_level_spread["tv"] > lo.standby_level_spread["tv"]
+
+
+class TestScheduleDivergence:
+    def test_zero_for_single_home(self):
+        ds = generate_neighborhood(
+            n_residences=1, n_days=1, minutes_per_day=240, seed=5,
+        )
+        assert schedule_divergence(ds) == 0.0
+
+    def test_grows_with_heterogeneity(self):
+        def div(het):
+            ds = generate_neighborhood(
+                n_residences=6, n_days=3, minutes_per_day=240,
+                device_types=("tv", "light"), heterogeneity=het, seed=6,
+            )
+            return schedule_divergence(ds)
+
+        assert div(1.0) > div(0.0)
+
+    def test_bounded(self):
+        ds = generate_neighborhood(
+            n_residences=5, n_days=2, minutes_per_day=240, seed=7,
+        )
+        d = schedule_divergence(ds)
+        assert 0.0 <= d <= 1.0  # JS divergence in base 2 is bounded by 1

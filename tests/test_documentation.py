@@ -1,0 +1,88 @@
+"""Documentation-coverage meta-tests.
+
+Deliverable guard: every public module, class and function in the
+library carries a docstring, and the repository-level documents exist
+with their required sections.
+"""
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO = Path(repro.__file__).resolve().parent.parent.parent
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+ALL_MODULES = sorted(iter_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_has_docstring(self, module_name):
+        mod = importlib.import_module(module_name)
+        assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_public_api_documented(self, module_name):
+        mod = importlib.import_module(module_name)
+        names = getattr(mod, "__all__", [])
+        for name in names:
+            obj = getattr(mod, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                # Only enforce on objects defined in this package.
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    assert obj.__doc__ and obj.__doc__.strip(), (
+                        f"{module_name}.{name} lacks a docstring"
+                    )
+
+    def test_public_classes_have_documented_public_methods(self):
+        """Spot-check the core user-facing classes."""
+        from repro.core.pfdrl import PFDRLTrainer
+        from repro.core.system import PFDRLSystem
+        from repro.federated.dfl import DFLTrainer
+        from repro.rl.dqn import DQNAgent
+
+        for cls in (PFDRLTrainer, PFDRLSystem, DFLTrainer, DQNAgent):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"
+
+
+class TestRepositoryDocs:
+    def test_readme_sections(self):
+        text = (REPO / "README.md").read_text()
+        for needle in ("Install", "Quickstart", "Architecture", "benchmarks"):
+            assert needle in text
+
+    def test_design_has_inventory_and_experiment_index(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "System inventory" in text or "system inventory" in text.lower()
+        assert "Per-experiment index" in text
+        # Every figure and both tables are mapped.
+        for fig in range(2, 15):
+            assert f"Fig {fig}" in text or f"fig{fig:02d}" in text
+        assert "Tab 1" in text and "Tab 2" in text
+
+    def test_experiments_records_paper_vs_measured(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        assert "paper vs" in text.lower() or "Paper result" in text
+        for fig in (2, 5, 9, 12, 14):
+            assert f"{fig} (" in text or f"Fig. {fig}" in text or f"fig{fig:02d}" in text
+
+    def test_examples_exist_and_documented(self):
+        examples = sorted((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        for path in examples:
+            source = path.read_text()
+            assert source.lstrip().startswith('"""'), f"{path.name} lacks a docstring"
+            assert "Run:" in source, f"{path.name} lacks a run hint"

@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run here (the five-method comparison example is
+exercised indirectly through the baselines tests and Fig. 9/14 benches).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.skipif(not EXAMPLES.exists(), reason="examples directory missing")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "forecast accuracy" in out
+        assert "standby energy saved" in out
+
+    def test_custom_device(self, capsys):
+        out = run_example("custom_device.py", capsys)
+        assert "ev_charger" in out
+        assert "standby energy saved" in out
+        # Clean up the registered device so other tests see the stock catalog.
+        from repro.data.devices import DEVICE_CATALOG
+
+        DEVICE_CATALOG.pop("ev_charger", None)
+
+    def test_all_examples_importable(self):
+        """Every example compiles (no syntax or import-time errors)."""
+        for path in sorted(EXAMPLES.glob("*.py")):
+            source = path.read_text()
+            compile(source, str(path), "exec")

@@ -1,0 +1,242 @@
+"""Smoke + structure tests for the experiment harness and every module.
+
+Each experiment runs once on an ultra-small profile; assertions cover
+result structure and basic sanity (shape fidelity itself is asserted at
+bench scale in benchmarks/).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    ablations,
+    ems_profile,
+    fig02_alpha,
+    fig03_beta,
+    fig04_gamma,
+    fig05_cdf,
+    fig06_hourly,
+    fig07_days,
+    fig08_clients,
+    fig09_methods,
+    fig10_monetary,
+    fig11_hourly_savings,
+    fig12_personalization,
+    fig13_forecast_time,
+    fig14_ems_time,
+    headline,
+    small_profile,
+    table01_reward,
+    table02_methods,
+)
+from repro.experiments.report import EXPERIMENTS, run_experiment, run_report
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """3 residences x 2 days, 2 devices, minimal DQN — seconds total."""
+    return (
+        small_profile(seed=1)
+        .with_data(n_residences=3, n_days=2, device_types=("tv", "desktop"))
+        .with_dqn(hidden_width=8, learn_every=8, epsilon_decay_steps=200)
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_models():
+    import dataclasses
+
+    base = (
+        small_profile(seed=1)
+        .with_data(n_residences=2, n_days=2, device_types=("tv",))
+    )
+    return dataclasses.replace(base, forecast_models=("lr", "bp"))
+
+
+class TestHarness:
+    def test_series_validation_and_helpers(self):
+        s = Series("a", [1, 2, 3], [0.1, 0.5, 0.3])
+        assert s.argmax_x() == 2
+        assert s.y_at(3) == 0.3
+        assert not s.is_nondecreasing()
+        assert Series("b", [1, 2], [0.1, 0.1]).is_nondecreasing()
+        with pytest.raises(ValueError):
+            Series("bad", [1], [1, 2])
+
+    def test_result_rendering(self):
+        r = ExperimentResult("t", "desc", "x", "y")
+        r.add_series("curve", [1, 2], [0.5, 0.25])
+        r.notes["best"] = 1
+        text = r.to_text()
+        assert "t: desc" in text and "curve" in text and "best=1" in text
+
+    def test_profile_with_helpers(self, tiny):
+        assert tiny.with_data(n_days=9).data.n_days == 9
+        assert tiny.with_forecast(model="bp").forecast.model == "bp"
+        assert tiny.with_federation(alpha=2).federation.alpha == 2
+        assert tiny.with_dqn(hidden_width=4).dqn.hidden_width == 4
+        cfg = tiny.pfdrl_config(episodes=5)
+        assert cfg.episodes == 5
+
+    def test_profiles_construct(self):
+        from repro.experiments.profiles import medium_profile, paper_profile
+
+        assert ems_profile().dqn.learning_rate == 0.001
+        assert medium_profile().data.minutes_per_day == 480
+        paper = paper_profile()
+        assert paper.dqn.hidden_width == 100  # exact §4 settings
+        assert paper.data.minutes_per_day == 1440
+
+
+class TestHyperparameterSweeps:
+    def test_fig02_alpha_structure(self, tiny):
+        r = fig02_alpha.run(tiny, alphas=(1, 6))
+        assert r["saved_standby"].x == [1, 6]
+        assert all(np.isfinite(v) for v in r["saved_standby"].y)
+        assert r.notes["best_alpha"] in (1, 6)
+
+    def test_fig03_beta_structure(self, tiny):
+        r = fig03_beta.run(tiny, model="lr", betas=(6.0, 24.0))
+        assert r["accuracy"].x == [6.0, 24.0]
+        assert all(0 <= v <= 1 for v in r["accuracy"].y)
+        assert r["params_broadcast"].y[0] >= r["params_broadcast"].y[1]
+
+    def test_fig04_gamma_structure(self, tiny):
+        r = fig04_gamma.run(tiny, gammas=(6.0, 12.0))
+        assert r["saved_standby"].x == [6.0, 12.0]
+        assert all(np.isfinite(v) for v in r["saved_standby"].y)
+
+
+class TestForecastExperiments:
+    def test_fig05_structure(self, tiny_models):
+        r = fig05_cdf.run(tiny_models)
+        assert set(r.series) == {"lr", "bp"}
+        for s in r.series.values():
+            F = np.asarray(s.y)
+            assert np.all(np.diff(F) >= 0) and F[-1] == 1.0
+        assert " < " in r.notes["ranking"]
+
+    def test_fig06_structure(self, tiny_models):
+        r = fig06_hourly.run(tiny_models)
+        assert len(r["lr"].x) == 24
+        assert 0 <= r.notes["mean_lr"] <= 1
+
+    def test_fig07_structure(self, tiny_models):
+        r = fig07_days.run(tiny_models)
+        assert r["lr"].x == [1]  # only 1 train day at this scale
+        assert "final_lr" in r.notes
+
+    def test_fig08_structure(self, tiny_models):
+        r = fig08_clients.run(tiny_models, client_counts=(2, 3))
+        assert r["lr"].x == [2, 3]
+        assert all(0 <= v <= 1 for v in r["lr"].y)
+
+    def test_fig13_structure(self, tiny_models):
+        r = fig13_forecast_time.run(tiny_models)
+        assert r["train_seconds"].x == ["lr", "bp"]
+        assert all(v > 0 for v in r["train_seconds"].y)
+        assert all(p > 0 for p in r["model_params"].y)
+
+
+class TestEMSExperiments:
+    def test_fig09_structure(self, tiny):
+        r = fig09_methods.run(tiny)
+        assert set(r.series) == {"local", "cloud", "fl", "frl", "pfdrl"}
+        assert all(np.isfinite(r.notes[f"final_{m}"]) for m in r.series)
+
+    def test_fig10_structure(self, tiny):
+        r = fig10_monetary.run(tiny, month_starts=(0, 180))
+        assert r["fixed_rate"].x == [1, 2]
+        assert all(v >= 0 for v in r["fixed_rate"].y)
+
+    def test_fig11_structure(self, tiny):
+        r = fig11_hourly_savings.run(tiny)
+        assert len(r["pfdrl"].x) == 24
+        assert np.isfinite(r.notes["total_pfdrl"])
+
+    def test_fig12_structure(self, tiny):
+        r = fig12_personalization.run(tiny)
+        assert set(r.series) == {"personalized", "not_personalized"}
+        assert len(r["personalized"].y) == tiny.data.n_residences
+
+    def test_fig14_structure(self, tiny):
+        r = fig14_ems_time.run(tiny)
+        assert r.notes["params_local"] == 0
+        assert r.notes["params_frl"] > 0
+
+    def test_headline_structure(self, tiny):
+        r = headline.run(tiny)
+        assert set(r["measured"].x) == {"forecast_accuracy", "saved_standby_fraction"}
+        assert r["paper"].y == [0.92, 0.98]
+
+
+class TestTables:
+    def test_table01_matches(self):
+        r = table01_reward.run()
+        assert r.notes["matches_paper"] is True
+
+    def test_table02_flags(self):
+        r = table02_methods.run()
+        assert r.notes["pfdrl_has_all"] is True
+
+
+class TestAblations:
+    def test_topology(self, tiny):
+        r = ablations.run_topology(tiny)
+        assert set(r["accuracy"].x) == {"full", "ring", "star"}
+
+    def test_features(self, tiny):
+        r = ablations.run_features(tiny)
+        assert "none" in r["accuracy"].x
+
+    def test_dqn(self, tiny):
+        r = ablations.run_dqn(tiny)
+        assert len(r["replay_capacity"].y) == 3
+        assert len(r["target_period"].y) == 3
+
+    def test_compression(self, tiny):
+        r = ablations.run_compression(tiny)
+        assert set(r["accuracy"].x) == {"raw", "topk_25", "quant_8bit", "quant_4bit"}
+        wire = dict(zip(r["wire_bytes"].x, r["wire_bytes"].y))
+        assert wire["quant_8bit"] < wire["raw"]
+
+    def test_agent_scope(self, tiny):
+        r = ablations.run_agent_scope(tiny)
+        assert r["saved_standby"].x == ["residence", "device"]
+        assert r.notes["broadcast_ratio"] > 1.0
+
+
+class TestReport:
+    def test_registry_covers_all_artefacts(self):
+        expected = {f"fig{i:02d}" for i in range(2, 15)}
+        have = {name[:5] for name in EXPERIMENTS if name.startswith("fig")}
+        assert have == expected
+        assert {"table01_reward", "table02_methods", "headline"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99_nope")
+
+    def test_run_report_renders(self, tiny_models):
+        text = run_report(["table01_reward", "table02_methods"], tiny_models)
+        assert "table01_reward" in text and "table02_methods" in text
+
+
+class TestCLI:
+    def test_list_and_run(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05_cdf" in out
+        assert main(["run", "table01_reward"]) == 0
+        out = capsys.readouterr().out
+        assert "standby_kill_bonus=30" in out
+
+    def test_bad_experiment_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "not_an_experiment"])

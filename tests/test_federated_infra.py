@@ -1,0 +1,198 @@
+"""Tests for federated infrastructure: topology, transport, aggregation,
+scheduler, central server."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    BroadcastScheduler,
+    CentralServer,
+    MessageBus,
+    Topology,
+    aggregate_full,
+    aggregate_partial,
+    make_topology,
+    split_base_personal,
+)
+from repro.federated.aggregation import base_param_count
+
+
+class TestTopology:
+    def test_full_mesh(self):
+        t = make_topology("full", 5)
+        assert t.n_agents == 5
+        assert t.neighbors(0) == [1, 2, 3, 4]
+        assert t.n_links() == 10
+        assert t.is_connected()
+
+    def test_ring(self):
+        t = make_topology("ring", 5)
+        assert t.neighbors(0) == [1, 4]
+        assert t.n_links() == 5
+
+    def test_star(self):
+        t = make_topology("star", 5, hub=2)
+        assert t.neighbors(2) == [0, 1, 3, 4]
+        assert t.neighbors(0) == [2]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology("hypercube", 4)
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(KeyError):
+            make_topology("full", 3).neighbors(7)
+
+    def test_tiny_sizes(self):
+        assert make_topology("full", 1).neighbors(0) == []
+        assert make_topology("ring", 2).neighbors(0) == [1]
+
+
+class TestMessageBus:
+    def test_broadcast_reaches_all_neighbors(self):
+        bus = MessageBus(make_topology("full", 3))
+        n = bus.broadcast(0, [np.ones(4)], tag="w")
+        assert n == 2
+        assert len(bus.collect(1, tag="w")) == 1
+        assert len(bus.collect(2, tag="w")) == 1
+        assert bus.pending(0) == 0
+
+    def test_payloads_are_deep_copies(self):
+        bus = MessageBus(make_topology("full", 2))
+        arr = np.ones(3)
+        bus.send(0, 1, [arr])
+        arr[...] = -1
+        msg = bus.collect(1)[0]
+        assert np.allclose(msg.payload[0], 1.0)
+
+    def test_send_respects_topology(self):
+        bus = MessageBus(make_topology("star", 3, hub=0))
+        with pytest.raises(ValueError):
+            bus.send(1, 2, [np.zeros(1)])  # leaf-to-leaf has no link
+
+    def test_stats_accounting(self):
+        bus = MessageBus(make_topology("full", 3))
+        bus.broadcast(0, [np.zeros((2, 2)), np.zeros(3)], tag="fc")
+        assert bus.stats.n_messages == 2
+        assert bus.stats.n_params == 2 * 7
+        assert bus.stats.n_bytes == 2 * 7 * 8
+        assert bus.stats.per_tag_params["fc"] == 14
+
+    def test_collect_filters_by_tag(self):
+        bus = MessageBus(make_topology("full", 2))
+        bus.send(0, 1, [np.zeros(1)], tag="a")
+        bus.send(0, 1, [np.zeros(1)], tag="b")
+        got = bus.collect(1, tag="a")
+        assert len(got) == 1 and got[0].tag == "a"
+        assert bus.pending(1) == 1  # 'b' still queued
+
+
+class TestAggregation:
+    def test_aggregate_full_includes_local(self):
+        local = [np.asarray([0.0])]
+        received = [[np.asarray([3.0])], [np.asarray([6.0])]]
+        out = aggregate_full(local, received)
+        assert out[0][0] == pytest.approx(3.0)
+
+    def test_split_base_personal(self):
+        # 3 groups of sizes [2, 2, 1]; alpha=2 -> first 4 arrays are base.
+        base, personal = split_base_personal([2, 2, 1], alpha=2)
+        assert base == [0, 1, 2, 3]
+        assert personal == [4]
+
+    def test_split_bounds(self):
+        with pytest.raises(ValueError):
+            split_base_personal([1, 1], alpha=3)
+        base, personal = split_base_personal([1, 1], alpha=0)
+        assert base == [] and personal == [0, 1]
+
+    def test_aggregate_partial_touches_only_base(self):
+        local = [np.asarray([0.0]), np.asarray([100.0])]
+        received = [[np.asarray([2.0])]]  # only the base array travels
+        out = aggregate_partial(local, received, base_idx=[0])
+        assert out[0][0] == pytest.approx(1.0)  # mean(0, 2)
+        assert out[1][0] == pytest.approx(100.0)  # personal untouched
+
+    def test_aggregate_partial_validates_payload(self):
+        local = [np.zeros(1), np.zeros(1)]
+        with pytest.raises(ValueError):
+            aggregate_partial(local, [[np.zeros(1), np.zeros(1)]], base_idx=[0])
+
+    def test_base_param_count(self):
+        weights = [np.zeros((2, 3)), np.zeros(4), np.zeros((5,))]
+        assert base_param_count(weights, [0, 2]) == 11
+
+
+class TestScheduler:
+    def test_hourly_events_standard_day(self):
+        s = BroadcastScheduler(1.0, minutes_per_day=1440)
+        assert s.period_minutes == 60
+        events = s.events_in(0, 1440)
+        assert len(events) == 23  # minute 0 doesn't fire; 60..1380
+        assert events[0] == 60
+
+    def test_subhour_period(self):
+        s = BroadcastScheduler(0.1, minutes_per_day=1440)
+        assert s.period_minutes == 6
+        assert s.fires_at(6) and not s.fires_at(5)
+
+    def test_scaled_day_keeps_relative_cadence(self):
+        full = BroadcastScheduler(12.0, minutes_per_day=1440)
+        scaled = BroadcastScheduler(12.0, minutes_per_day=240)
+        assert full.events_per_day() == pytest.approx(scaled.events_per_day())
+
+    def test_multi_day_period(self):
+        s = BroadcastScheduler(48.0, minutes_per_day=240)
+        events = s.events_in(0, 240 * 4)
+        assert list(events) == [480]
+
+    def test_minute_zero_never_fires(self):
+        assert not BroadcastScheduler(1.0).fires_at(0)
+
+    def test_events_in_empty_range(self):
+        s = BroadcastScheduler(1.0)
+        assert s.events_in(100, 100).size == 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            BroadcastScheduler(0.0)
+
+
+class TestCentralServer:
+    def test_fedavg_and_accounting(self):
+        srv = CentralServer(cost_per_round=0.5)
+        w1 = [np.asarray([0.0, 2.0])]
+        w2 = [np.asarray([4.0, 6.0])]
+        merged = srv.aggregate("m", [0, 1], [w1, w2])
+        assert np.allclose(merged[0], [2.0, 4.0])
+        assert srv.stats.n_rounds == 1
+        assert srv.stats.uplink_params == 4
+        assert srv.stats.downlink_params == 4
+        assert srv.stats.dollars_charged == pytest.approx(0.5)
+        assert srv.stats.clients_seen == {0, 1}
+
+    def test_global_model_retrievable_copy(self):
+        srv = CentralServer()
+        srv.aggregate("m", [0], [[np.asarray([1.0])]])
+        g = srv.global_model("m")
+        g[0][...] = -9
+        assert srv.global_model("m")[0][0] == pytest.approx(1.0)
+
+    def test_missing_model_raises(self):
+        with pytest.raises(KeyError):
+            CentralServer().global_model("nope")
+
+    def test_weighted_aggregation(self):
+        srv = CentralServer()
+        merged = srv.aggregate(
+            "m", [0, 1], [[np.asarray([0.0])], [np.asarray([10.0])]],
+            client_weights=[9.0, 1.0],
+        )
+        assert merged[0][0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        srv = CentralServer()
+        with pytest.raises(ValueError):
+            srv.aggregate("m", [0], [])
+        with pytest.raises(ValueError):
+            srv.aggregate("m", [0, 1], [[np.zeros(1)]])

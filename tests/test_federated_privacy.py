@@ -1,0 +1,105 @@
+"""Tests for the privacy/leakage analysis (the paper's motivating threat)."""
+
+import numpy as np
+import pytest
+
+from repro.federated.privacy import (
+    clip_then_noise,
+    gaussian_mechanism,
+    leakage_of_update,
+    rank1_input_reconstruction,
+    reconstruction_similarity,
+)
+
+
+def single_example_update(x, delta_out, lr=0.1):
+    """One SGD step on one example for a linear layer: W -= lr * x deltaT."""
+    return -lr * np.outer(x, delta_out)
+
+
+class TestReconstruction:
+    def test_perfect_leak_on_rank1_update(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=12)
+        dW = single_example_update(x, rng.normal(size=5))
+        x_hat = rank1_input_reconstruction(dW)
+        assert reconstruction_similarity(x, x_hat) > 0.999
+
+    def test_small_batch_still_leaks_substantially(self):
+        """A batch-of-2 update is rank-2; the top direction still
+        correlates with the dominant example."""
+        rng = np.random.default_rng(1)
+        x1 = rng.normal(size=12) * 5.0   # dominant example
+        x2 = rng.normal(size=12) * 0.5
+        dW = single_example_update(x1, rng.normal(size=5)) + single_example_update(
+            x2, rng.normal(size=5)
+        )
+        sim = reconstruction_similarity(x1, rank1_input_reconstruction(dW))
+        assert sim > 0.9
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            rank1_input_reconstruction(np.zeros(5))
+
+    def test_similarity_bounds_and_alignment(self):
+        x = np.asarray([1.0, 0.0])
+        assert reconstruction_similarity(x, x) == pytest.approx(1.0)
+        assert reconstruction_similarity(x, -x) == pytest.approx(1.0)  # sign-blind
+        assert reconstruction_similarity(x, np.asarray([0.0, 1.0])) == pytest.approx(0.0)
+        assert reconstruction_similarity(x, np.zeros(2)) == 0.0
+        with pytest.raises(ValueError):
+            reconstruction_similarity(x, np.zeros(3))
+
+
+class TestMitigation:
+    def test_noise_degrades_the_attack(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=12)
+        dW = single_example_update(x, rng.normal(size=5))
+        clean = reconstruction_similarity(x, rank1_input_reconstruction(dW))
+        noisy = gaussian_mechanism([dW], noise_std=np.abs(dW).max() * 5, seed=3)[0]
+        attacked = reconstruction_similarity(x, rank1_input_reconstruction(noisy))
+        assert attacked < clean - 0.3
+
+    def test_gaussian_mechanism_zero_noise_is_identity(self):
+        w = [np.arange(6.0).reshape(2, 3)]
+        out = gaussian_mechanism(w, 0.0, seed=0)
+        assert np.allclose(out[0], w[0])
+
+    def test_clip_then_noise_clips_norm(self):
+        w = [np.full((3, 3), 10.0)]
+        out = clip_then_noise(w, clip_norm=1.0, noise_std=0.0, seed=0)
+        assert np.sqrt((out[0] ** 2).sum()) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        w = [np.full((2, 2), 0.1)]
+        out = clip_then_noise(w, clip_norm=10.0, noise_std=0.0, seed=0)
+        assert np.allclose(out[0], w[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_mechanism([np.zeros(2)], -1.0)
+        with pytest.raises(ValueError):
+            clip_then_noise([np.zeros(2)], 0.0, 0.1)
+
+
+class TestEndToEnd:
+    def test_leakage_of_observed_snapshots(self):
+        """The full malicious-aggregator flow on an LR forecaster."""
+        from repro.forecast import LinearRegressionForecaster
+
+        rng = np.random.default_rng(4)
+        f = LinearRegressionForecaster(8, 4, ridge=0.1, blend=1.0, n_extra=0)
+        before = f.get_weights()[0]
+        # The client trains on ONE private window and broadcasts.
+        x = rng.uniform(0, 1, size=(1, 8))
+        y = rng.uniform(0, 1, size=(1, 4))
+        f.fit(x, y)
+        after = f.get_weights()[0]
+        # The aggregator inverts the update (ignoring the intercept row).
+        sim = leakage_of_update(before[:-1], after[:-1], x[0])
+        assert sim > 0.95
+
+    def test_no_update_no_leak(self):
+        w = np.zeros((4, 2))
+        assert leakage_of_update(w, w, np.ones(4)) == 0.0

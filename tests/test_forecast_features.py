@@ -1,0 +1,112 @@
+"""Tests for window/feature construction."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.features import (
+    augment_time_features,
+    denormalize_power,
+    make_windows,
+    normalize_power,
+    window_count,
+)
+
+
+class TestNormalize:
+    def test_roundtrip(self):
+        p = np.asarray([0.0, 0.05, 0.1])
+        n = normalize_power(p, 0.1)
+        assert np.allclose(n, [0.0, 0.5, 1.0])
+        assert np.allclose(denormalize_power(n, 0.1), p)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            normalize_power(np.zeros(3), 0.0)
+        with pytest.raises(ValueError):
+            denormalize_power(np.zeros(3), -1.0)
+
+
+class TestMakeWindows:
+    def test_basic_alignment(self):
+        series = np.arange(20.0)
+        X, y = make_windows(series, window=4, horizon=2, stride=2)
+        assert X.shape[1] == 4 and y.shape[1] == 2
+        # First pair: X = series[0:4], y = series[4:6]
+        assert np.allclose(X[0], [0, 1, 2, 3])
+        assert np.allclose(y[0], [4, 5])
+        # Second pair starts stride=2 later.
+        assert np.allclose(X[1], [2, 3, 4, 5])
+        assert np.allclose(y[1], [6, 7])
+
+    def test_default_stride_is_horizon(self):
+        series = np.arange(30.0)
+        X, y = make_windows(series, window=5, horizon=5)
+        # stride defaults to horizon: consecutive targets tile the series.
+        assert np.allclose(y[0], series[5:10])
+        assert np.allclose(y[1], series[10:15])
+
+    def test_offsets_point_at_targets(self):
+        series = np.arange(30.0)
+        X, y, offs = make_windows(series, 5, 5, stride=3, return_offsets=True)
+        for i, off in enumerate(offs):
+            assert np.allclose(y[i], series[off : off + 5])
+
+    def test_count_formula_matches(self):
+        series = np.arange(101.0)
+        for w, h, s in [(10, 5, 5), (10, 5, 1), (3, 3, 7)]:
+            X, _ = make_windows(series, w, h, stride=s)
+            assert X.shape[0] == window_count(101, w, h, s)
+
+    def test_short_series_yields_empty(self):
+        X, y = make_windows(np.arange(5.0), window=4, horizon=4)
+        assert X.shape == (0, 4) and y.shape == (0, 4)
+
+    def test_no_leakage_between_X_and_y(self):
+        """Windows never overlap their own targets."""
+        series = np.arange(50.0)
+        X, y, offs = make_windows(series, 6, 4, stride=2, return_offsets=True)
+        for i in range(X.shape[0]):
+            assert X[i].max() < y[i].min()
+
+    def test_rejects_2d_series(self):
+        with pytest.raises(ValueError):
+            make_windows(np.zeros((3, 3)), 2, 1)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            make_windows(np.zeros(10), 2, 1, stride=0)
+
+    def test_copies_not_views(self):
+        series = np.arange(20.0)
+        X, _ = make_windows(series, 4, 2)
+        X[0, 0] = -99
+        assert series[0] == 0.0
+
+
+class TestAugmentTimeFeatures:
+    def test_adds_harmonic_columns(self):
+        X = np.zeros((3, 5))
+        offs = np.asarray([0, 60, 120])
+        out = augment_time_features(X, offs, minutes_per_day=1440, harmonics=4)
+        assert out.shape == (3, 5 + 8)
+
+    def test_phase_values(self):
+        X = np.zeros((2, 1))
+        offs = np.asarray([0, 360])  # midnight and 6:00 on a 1440-min day
+        out = augment_time_features(X, offs, 1440, harmonics=1)
+        assert out[0, 1] == pytest.approx(0.0)  # sin(0)
+        assert out[0, 2] == pytest.approx(1.0)  # cos(0)
+        assert out[1, 1] == pytest.approx(1.0)  # sin(pi/2)
+        assert out[1, 2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_t0_shifts_phase(self):
+        X = np.zeros((1, 1))
+        a = augment_time_features(X, np.asarray([0]), 1440, t0=360, harmonics=1)
+        b = augment_time_features(X, np.asarray([360]), 1440, t0=0, harmonics=1)
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            augment_time_features(np.zeros((2, 3)), np.zeros(3, dtype=int), 1440)
+        with pytest.raises(ValueError):
+            augment_time_features(np.zeros((2, 3)), np.zeros(2, dtype=int), 1440, harmonics=0)

@@ -1,0 +1,83 @@
+"""Tests for the RFF kernel SVR."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import RFFSVRForecaster, make_forecaster
+from repro.nn.serialization import average_weights
+
+
+def toy_nonlinear(n=80, seed=0, window=6, horizon=2):
+    """Targets depend nonlinearly on the window (a linear model plateaus)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, window))
+    base = np.sin(3.0 * X[:, :1]) * np.cos(2.0 * X[:, 1:2])
+    y = np.tile(base, (1, horizon))
+    return X, y
+
+
+class TestKernelApproximation:
+    def test_approximates_rbf(self):
+        f = RFFSVRForecaster(6, 2, n_features=4096, gamma=0.5, n_extra=0, feature_seed=7)
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10, 6))
+        Y = rng.normal(size=(8, 6))
+        approx = f.kernel_approximation(X, Y)
+        d2 = ((X[:, None, :] - Y[None, :, :]) ** 2).sum(axis=2)
+        exact = np.exp(-0.5 * d2)
+        assert np.abs(approx - exact).max() < 0.1
+
+    def test_feature_map_deterministic_by_seed(self):
+        a = RFFSVRForecaster(6, 2, feature_seed=5, n_extra=0)
+        b = RFFSVRForecaster(6, 2, feature_seed=5, n_extra=0)
+        X = np.random.default_rng(0).normal(size=(4, 6))
+        assert np.allclose(a.transform(X), b.transform(X))
+
+    def test_different_feature_seed_differs(self):
+        a = RFFSVRForecaster(6, 2, feature_seed=5, n_extra=0)
+        b = RFFSVRForecaster(6, 2, feature_seed=6, n_extra=0)
+        X = np.random.default_rng(0).normal(size=(4, 6))
+        assert not np.allclose(a.transform(X), b.transform(X))
+
+
+class TestLearning:
+    def test_beats_linear_svr_on_nonlinear_target(self):
+        X, y = toy_nonlinear()
+        rbf = make_forecaster("svm_rbf", 6, 2, n_extra=0, seed=0,
+                              n_features=256, gamma=2.0, epochs=120)
+        lin = make_forecaster("svm", 6, 2, n_extra=0, seed=0, epochs=120)
+        rbf.fit(X, y)
+        lin.fit(X, y)
+        err_rbf = np.abs(rbf.predict(X) - y).mean()
+        err_lin = np.abs(lin.predict(X) - y).mean()
+        assert err_rbf < err_lin * 0.8
+
+    def test_weights_roundtrip(self):
+        X, y = toy_nonlinear(n=30)
+        f = RFFSVRForecaster(6, 2, n_features=64, n_extra=0, seed=0, epochs=10)
+        f.fit(X, y)
+        g = f.clone()
+        g.set_weights(f.get_weights())
+        assert np.allclose(f.predict(X), g.predict(X))
+
+    def test_federated_averaging_works(self):
+        """Two clients with the SAME feature seed can average heads."""
+        X, y = toy_nonlinear(n=60)
+        a = RFFSVRForecaster(6, 2, n_features=64, n_extra=0, seed=0, epochs=20)
+        b = RFFSVRForecaster(6, 2, n_features=64, n_extra=0, seed=1, epochs=20)
+        a.fit(X[:30], y[:30])
+        b.fit(X[30:], y[30:])
+        merged = average_weights([a.get_weights(), b.get_weights()])
+        c = a.clone()
+        c.set_weights(merged)
+        assert np.all(np.isfinite(c.predict(X)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RFFSVRForecaster(6, 2, n_features=0)
+        with pytest.raises(ValueError):
+            RFFSVRForecaster(6, 2, gamma=-1.0)
+
+    def test_registered(self):
+        f = make_forecaster("svm_rbf", 8, 4, seed=0)
+        assert f.name == "svm_rbf"

@@ -1,0 +1,62 @@
+"""Robustness and numerical-edge tests for the forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import FORECASTERS, make_forecaster
+
+W, H, E = 6, 3, 2
+
+
+def make(name, **kw):
+    kwargs = {} if name == "lr" else {"seed": 0}
+    kwargs.update(kw)
+    return make_forecaster(name, W, H, n_extra=E, **kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(FORECASTERS))
+class TestNumericalEdges:
+    def test_constant_series(self, name):
+        """All-constant inputs (a device that never changes mode)."""
+        f = make(name)
+        X = np.full((20, W + E), 0.1)
+        y = np.full((20, H), 0.1)
+        f.fit(X, y)
+        pred = f.predict(X)
+        assert np.all(np.isfinite(pred))
+        assert np.abs(pred - 0.1).max() < 0.25
+
+    def test_all_zero_series(self, name):
+        """A dead sensor: zeros in, finite predictions out."""
+        f = make(name)
+        X = np.zeros((15, W + E))
+        y = np.zeros((15, H))
+        f.fit(X, y)
+        assert np.all(np.isfinite(f.predict(X)))
+
+    def test_single_sample(self, name):
+        f = make(name)
+        X = np.random.default_rng(0).uniform(0, 1, size=(1, W + E))
+        y = np.random.default_rng(1).uniform(0, 1, size=(1, H))
+        f.fit(X, y)
+        assert f.predict(X).shape == (1, H)
+
+    def test_large_values_stay_finite(self, name):
+        """Spiky (corrupted) inputs must not blow the model up."""
+        rng = np.random.default_rng(2)
+        f = make(name)
+        X = rng.uniform(0, 1, size=(30, W + E))
+        X[::7] *= 50.0  # injected spikes
+        y = rng.uniform(0, 1, size=(30, H))
+        f.fit(X, y)
+        assert np.all(np.isfinite(f.predict(X)))
+
+    def test_predict_before_fit_is_finite(self, name):
+        f = make(name)
+        X = np.random.default_rng(3).uniform(0, 1, size=(4, W + E))
+        assert np.all(np.isfinite(f.predict(X)))
+
+    def test_1d_input_promoted(self, name):
+        f = make(name)
+        x = np.zeros(W + E)
+        assert f.predict(x).shape == (1, H)

@@ -1,0 +1,96 @@
+"""Integration matrix: the full pipeline across configuration axes.
+
+One small shared dataset; each cell runs generate -> DFL -> streams ->
+PFDRL -> evaluate under a different (forecast mode, EMS sharing,
+forecaster) combination, asserting the pipeline stays sane everywhere
+— the coverage a downstream user changing one knob at a time relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DataConfig,
+    DQNConfig,
+    FederationConfig,
+    ForecastConfig,
+    PFDRLConfig,
+)
+from repro.core import PFDRLSystem
+from repro.data import generate_neighborhood
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_neighborhood(
+        n_residences=3, n_days=3, minutes_per_day=240,
+        device_types=("tv", "light"), heterogeneity=0.4, seed=41,
+    )
+
+
+def config(model="lr"):
+    return PFDRLConfig(
+        data=DataConfig(
+            n_residences=3, n_days=3, minutes_per_day=240,
+            device_types=("tv", "light"), heterogeneity=0.4, seed=41,
+        ),
+        forecast=ForecastConfig(
+            model=model, window=10, horizon=10,
+            hidden_size=8,
+        ),
+        dqn=DQNConfig(
+            hidden_width=8, learning_rate=0.01, batch_size=8,
+            memory_capacity=200, epsilon_decay_steps=300,
+            learn_every=6, reward_scale=1 / 30,
+        ),
+        federation=FederationConfig(alpha=4, beta_hours=6, gamma_hours=6),
+        episodes=1,
+    )
+
+
+def run_cell(dataset, forecast_mode, sharing, model="lr"):
+    system = PFDRLSystem(
+        config(model), dataset=dataset,
+        forecast_mode=forecast_mode, sharing=sharing,
+    )
+    return system.run()
+
+
+@pytest.mark.parametrize("forecast_mode", ["decentralized", "centralized", "local", "cloud"])
+def test_forecast_modes(dataset, forecast_mode):
+    res = run_cell(dataset, forecast_mode, "personalized")
+    assert 0.0 <= res.forecast_accuracy <= 1.0
+    assert np.isfinite(res.ems.saved_standby_fraction)
+
+
+@pytest.mark.parametrize("sharing", ["personalized", "full", "none"])
+def test_sharing_modes(dataset, sharing):
+    res = run_cell(dataset, "decentralized", sharing)
+    assert np.all(np.isfinite(res.ems.saved_standby_kwh))
+    assert res.ems.saved_standby_fraction > 0.2
+
+
+@pytest.mark.parametrize("model", ["lr", "svm", "svm_rbf", "bp"])
+def test_forecaster_models(dataset, model):
+    res = run_cell(dataset, "decentralized", "personalized", model=model)
+    assert 0.0 <= res.forecast_accuracy <= 1.0
+    assert np.isfinite(res.ems.saved_standby_fraction)
+
+
+def test_lstm_cell(dataset):
+    """LSTM is the slow path; one cell covers it."""
+    res = run_cell(dataset, "decentralized", "personalized", model="lstm")
+    assert 0.0 <= res.forecast_accuracy <= 1.0
+
+
+def test_single_residence_degenerate(dataset):
+    """A one-home neighbourhood must work (federation becomes a no-op)."""
+    ds1 = generate_neighborhood(
+        n_residences=1, n_days=3, minutes_per_day=240,
+        device_types=("tv",), seed=42,
+    )
+    system = PFDRLSystem(
+        config(), dataset=ds1, forecast_mode="decentralized", sharing="personalized"
+    )
+    res = system.run()
+    assert np.isfinite(res.ems.saved_standby_fraction)

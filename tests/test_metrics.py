@@ -1,0 +1,191 @@
+"""Tests for the metrics package."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.pricing import FixedRatePlan, default_variable_plan
+from repro.metrics import (
+    Stopwatch,
+    TimingRecord,
+    accuracy_series,
+    cdf_at,
+    empirical_cdf,
+    horizon_energy_accuracy,
+    mean_accuracy,
+    monetary_cost,
+    prediction_accuracy,
+    saved_energy_kwh,
+    saved_monetary_cost,
+    saved_standby_fraction,
+    standby_energy_kwh,
+    time_callable,
+)
+
+
+class TestAccuracySeries:
+    def test_paper_formula(self):
+        # Ac = 1 - |V - RV| / RV
+        acc = accuracy_series(np.asarray([0.9]), np.asarray([1.0]))
+        assert acc[0] == pytest.approx(0.9)
+
+    def test_perfect_prediction(self):
+        x = np.asarray([0.5, 1.0, 2.0])
+        assert np.allclose(accuracy_series(x, x), 1.0)
+
+    def test_clipped_at_zero(self):
+        acc = accuracy_series(np.asarray([10.0]), np.asarray([1.0]))
+        assert acc[0] == 0.0
+
+    def test_zero_real_handled(self):
+        acc = accuracy_series(np.asarray([0.0, 0.5]), np.asarray([0.0, 0.0]))
+        assert acc[0] == 1.0 and acc[1] == 0.0
+
+    def test_scale_invariance(self):
+        a = accuracy_series(np.asarray([0.8]), np.asarray([1.0]))
+        b = accuracy_series(np.asarray([80.0]), np.asarray([100.0]))
+        assert a[0] == pytest.approx(b[0])
+
+    def test_scalar_mean(self):
+        assert prediction_accuracy(np.asarray([1.0]), np.asarray([1.0])) == 1.0
+        assert np.isnan(mean_accuracy(np.asarray([])))
+
+
+class TestHorizonEnergyAccuracy:
+    def test_scores_window_totals(self):
+        pred = np.asarray([[0.5, 0.5], [1.0, 1.0]])
+        real = np.asarray([[1.0, 0.0], [1.0, 1.0]])
+        acc = horizon_energy_accuracy(pred, real, floor_fraction=0.0)
+        assert acc[0] == pytest.approx(1.0)  # totals match despite shape error
+        assert acc[1] == pytest.approx(1.0)
+
+    def test_floor_guards_small_denominators(self):
+        pred = np.asarray([[0.1, 0.0]])
+        real = np.asarray([[0.0, 0.0]])
+        # Without a floor this would be 0; with floor 0.05*2=0.1 -> 0.
+        acc = horizon_energy_accuracy(pred, real, floor_fraction=0.05, scale=1.0)
+        assert acc[0] == pytest.approx(0.0)
+        acc2 = horizon_energy_accuracy(pred * 0.1, real, floor_fraction=0.05, scale=1.0)
+        assert acc2[0] == pytest.approx(0.9)
+
+    def test_output_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        pred = rng.uniform(0, 2, size=(50, 6))
+        real = rng.uniform(0, 2, size=(50, 6))
+        acc = horizon_energy_accuracy(pred, real)
+        assert np.all((acc >= 0) & (acc <= 1))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            horizon_energy_accuracy(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestEnergyMetrics:
+    def test_standby_energy(self):
+        power = np.asarray([1.0, 0.1, 0.1, 0.0])
+        mode = np.asarray([2, 1, 1, 0])
+        assert standby_energy_kwh(power, mode) == pytest.approx(0.2 / 60)
+
+    def test_saved_energy(self):
+        base = np.asarray([1.0, 1.0])
+        ctrl = np.asarray([0.0, 1.0])
+        assert saved_energy_kwh(base, ctrl) == pytest.approx(1.0 / 60)
+
+    def test_saved_standby_fraction_perfect(self):
+        base = np.asarray([0.1, 0.1, 1.0])
+        mode = np.asarray([1, 1, 2])
+        ctrl = np.asarray([0.0, 0.0, 1.0])
+        assert saved_standby_fraction(base, ctrl, mode) == pytest.approx(1.0)
+
+    def test_saved_standby_fraction_nan_without_standby(self):
+        base = np.asarray([1.0])
+        assert np.isnan(saved_standby_fraction(base, base, np.asarray([2])))
+
+    def test_negative_savings_visible(self):
+        base = np.asarray([0.1])
+        ctrl = np.asarray([0.2])
+        assert saved_standby_fraction(base, ctrl, np.asarray([1])) < 0
+
+
+class TestMonetaryMetrics:
+    def test_fixed_plan_cost(self):
+        plan = FixedRatePlan(rate=0.1)
+        c = monetary_cost(np.asarray([1.0, 2.0]), np.zeros(2), np.zeros(2), plan)
+        assert c == pytest.approx(0.3)
+
+    def test_saved_cost_prices_the_delta(self):
+        plan = FixedRatePlan(rate=0.12)
+        base = np.full(60, 1.0)  # 1 kW for 1 h
+        ctrl = np.zeros(60)
+        saved = saved_monetary_cost(base, ctrl, np.zeros(60), np.zeros(60), plan)
+        assert saved == pytest.approx(0.12)
+
+    def test_variable_plan_peak_delta_worth_more(self):
+        plan = default_variable_plan()
+        base, ctrl = np.ones(1), np.zeros(1)
+        at_peak = saved_monetary_cost(base, ctrl, np.asarray([16.0]), np.asarray([200.0]), plan)
+        at_night = saved_monetary_cost(base, ctrl, np.asarray([3.0]), np.asarray([200.0]), plan)
+        assert at_peak > at_night
+
+    def test_alignment_validated(self):
+        plan = FixedRatePlan()
+        with pytest.raises(ValueError):
+            monetary_cost(np.zeros(3), np.zeros(2), np.zeros(3), plan)
+
+
+class TestCdf:
+    def test_empirical_cdf_basics(self):
+        x, F = empirical_cdf(np.asarray([3.0, 1.0, 2.0]))
+        assert np.allclose(x, [1, 2, 3])
+        assert np.allclose(F, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at_query_points(self):
+        samples = np.asarray([1.0, 2.0, 3.0, 4.0])
+        q = cdf_at(samples, np.asarray([0.5, 2.0, 10.0]))
+        assert np.allclose(q, [0.0, 0.5, 1.0])
+
+    def test_empty(self):
+        x, F = empirical_cdf(np.asarray([]))
+        assert x.size == 0 and F.size == 0
+        assert np.allclose(cdf_at(np.asarray([]), np.asarray([1.0])), 0.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=100)
+        q = cdf_at(samples, np.linspace(-3, 3, 50))
+        assert np.all(np.diff(q) >= 0)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            time.sleep(0.01)
+        with sw.measure("a"):
+            pass
+        assert sw.total("a") >= 0.01
+        assert sw.count("a") == 2
+
+    def test_work_units(self):
+        sw = Stopwatch()
+        sw.add_work("train", sgd_steps=10, params=100)
+        sw.add_work("train", sgd_steps=5)
+        rec = sw.record("train")
+        assert rec.work_units == {"sgd_steps": 15.0, "params": 100.0}
+
+    def test_time_callable(self):
+        result, rec = time_callable(lambda: 42, label="f")
+        assert result == 42
+        assert rec.seconds >= 0 and rec.label == "f"
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord("x", -1.0)
+
+    def test_labels_listing(self):
+        sw = Stopwatch()
+        with sw.measure("b"):
+            pass
+        sw.add_work("a", units=1)
+        assert sw.labels() == ["a", "b"]

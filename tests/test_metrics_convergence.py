@@ -1,0 +1,53 @@
+"""Tests for convergence-speed metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import auc, days_to_target, speedup
+
+
+class TestDaysToTarget:
+    def test_first_hit_is_one_based(self):
+        assert days_to_target(np.asarray([0.1, 0.5, 0.9]), 0.5) == 2.0
+
+    def test_immediate_hit(self):
+        assert days_to_target(np.asarray([0.9]), 0.5) == 1.0
+
+    def test_never_reached_is_inf(self):
+        assert np.isinf(days_to_target(np.asarray([0.1, 0.2]), 0.5))
+
+    def test_non_monotone_series(self):
+        # Dips after the first hit don't matter.
+        assert days_to_target(np.asarray([0.6, 0.2, 0.7]), 0.5) == 1.0
+
+
+class TestAuc:
+    def test_mean_semantics(self):
+        assert auc(np.asarray([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_length_invariance(self):
+        a = auc(np.full(10, 0.7))
+        b = auc(np.full(100, 0.7))
+        assert a == pytest.approx(b)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(auc(np.asarray([])))
+
+    def test_nan_tolerant(self):
+        assert auc(np.asarray([0.5, np.nan, 0.7])) == pytest.approx(0.6)
+
+
+class TestSpeedup:
+    def test_basic_ratio(self):
+        fast = np.asarray([0.9, 0.9, 0.9])
+        slow = np.asarray([0.1, 0.1, 0.9])
+        assert speedup(fast, slow, 0.5) == pytest.approx(3.0)
+
+    def test_only_fast_reaches(self):
+        assert np.isinf(speedup(np.asarray([0.9]), np.asarray([0.1]), 0.5))
+
+    def test_only_slow_reaches(self):
+        assert speedup(np.asarray([0.1]), np.asarray([0.9]), 0.5) == 0.0
+
+    def test_neither_reaches(self):
+        assert np.isnan(speedup(np.asarray([0.1]), np.asarray([0.1]), 0.5))

@@ -1,0 +1,56 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import he_uniform, orthogonal, xavier_uniform, zeros
+
+
+class TestUniformInits:
+    def test_xavier_bounds_and_shape(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, 30, 20)
+        limit = np.sqrt(6.0 / 50)
+        assert w.shape == (30, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_bounds(self):
+        rng = np.random.default_rng(0)
+        w = he_uniform(rng, 30, 20)
+        limit = np.sqrt(6.0 / 30)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_deterministic_given_rng(self):
+        a = xavier_uniform(np.random.default_rng(5), 10, 10)
+        b = xavier_uniform(np.random.default_rng(5), 10, 10)
+        assert np.array_equal(a, b)
+
+    def test_variance_scales_with_fan(self):
+        rng = np.random.default_rng(1)
+        small_fan = he_uniform(rng, 4, 1000).std()
+        big_fan = he_uniform(rng, 400, 1000).std()
+        assert small_fan > big_fan * 5
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self):
+        w = orthogonal(np.random.default_rng(2), 16, 16)
+        assert np.allclose(w @ w.T, np.eye(16), atol=1e-10)
+
+    def test_tall_has_orthonormal_columns(self):
+        w = orthogonal(np.random.default_rng(3), 20, 8)
+        assert np.allclose(w.T @ w, np.eye(8), atol=1e-10)
+
+    def test_wide_has_orthonormal_rows(self):
+        w = orthogonal(np.random.default_rng(4), 8, 20)
+        assert np.allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_deterministic(self):
+        a = orthogonal(np.random.default_rng(6), 12, 12)
+        b = orthogonal(np.random.default_rng(6), 12, 12)
+        assert np.array_equal(a, b)
+
+
+def test_zeros():
+    z = zeros((3, 4))
+    assert z.shape == (3, 4) and np.all(z == 0) and z.dtype == np.float64

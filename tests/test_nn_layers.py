@@ -1,0 +1,161 @@
+"""Tests for nn layers: Linear, activations, Sequential, MLP — including
+numerical gradient checks (the ground truth for manual backprop)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Identity, Linear, MSELoss, ReLU, Sequential, Sigmoid, Tanh
+
+
+def numerical_grad_check(model, loss_fn, x, y, atol=1e-6, n_probes=3):
+    """Compare analytic parameter gradients against central differences."""
+    model.zero_grad()
+    _, g = loss_fn(model.forward(x), y)
+    model.backward(g)
+    eps = 1e-6
+    rng = np.random.default_rng(0)
+    for p in model.parameters():
+        flat = p.data.reshape(-1)
+        gflat = p.grad.reshape(-1)
+        idxs = rng.choice(flat.size, size=min(n_probes, flat.size), replace=False)
+        for i in idxs:
+            old = flat[i]
+            flat[i] = old + eps
+            lp, _ = loss_fn(model.forward(x), y)
+            flat[i] = old - eps
+            lm, _ = loss_fn(model.forward(x), y)
+            flat[i] = old
+            num = (lp - lm) / (2 * eps)
+            assert num == pytest.approx(gflat[i], abs=atol), (
+                f"grad mismatch for {p.name} at {i}: numeric {num} vs analytic {gflat[i]}"
+            )
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        lin = Linear(3, 2, rng=0)
+        lin.W.data[...] = np.arange(6).reshape(3, 2)
+        lin.b.data[...] = [1.0, -1.0]
+        out = lin.forward(np.asarray([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[1.0, 0.0]])
+
+    def test_input_dim_checked(self):
+        with pytest.raises(ValueError):
+            Linear(3, 2).forward(np.zeros((1, 4)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(3, 2).backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        lin = Linear(4, 3, rng=2)
+        numerical_grad_check(
+            lin, MSELoss(), rng.normal(size=(5, 4)), rng.normal(size=(5, 3))
+        )
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(2)
+        lin = Linear(4, 3, rng=0)
+        x = rng.normal(size=(2, 4))
+        out = lin.forward(x)
+        gin = lin.backward(np.ones_like(out))
+        # d(sum out)/dx = W summed over outputs
+        assert np.allclose(gin, np.tile(lin.W.data.sum(axis=1), (2, 1)))
+
+    def test_deterministic_init(self):
+        a = Linear(5, 5, rng=7).W.data
+        b = Linear(5, 5, rng=7).W.data
+        assert np.array_equal(a, b)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("act_cls", [ReLU, Tanh, Sigmoid, Identity])
+    def test_gradient_matches_numeric(self, act_cls):
+        act = act_cls()
+        x = np.linspace(-2, 2, 11)[None, :] + 0.01  # avoid ReLU kink at 0
+        y = act.forward(x)
+        g = act.backward(np.ones_like(y))
+        eps = 1e-6
+        num = (act_cls().forward(x + eps) - act_cls().forward(x - eps)) / (2 * eps)
+        assert np.allclose(g, num, atol=1e-6)
+
+    def test_relu_clips_negatives(self):
+        r = ReLU()
+        out = r.forward(np.asarray([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_sigmoid_stable_at_extremes(self):
+        s = Sigmoid()
+        out = s.forward(np.asarray([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_stateless_layers_have_no_params(self):
+        for cls in (ReLU, Tanh, Sigmoid, Identity):
+            assert cls().parameters() == []
+
+
+class TestSequential:
+    def test_chains_forward(self):
+        seq = Sequential([Linear(2, 3, rng=0), ReLU(), Linear(3, 1, rng=1)])
+        out = seq.forward(np.zeros((4, 2)))
+        assert out.shape == (4, 1)
+
+    def test_parameters_ordered(self):
+        l1, l2 = Linear(2, 3, rng=0), Linear(3, 1, rng=1)
+        seq = Sequential([l1, ReLU(), l2])
+        assert seq.parameters() == [l1.W, l1.b, l2.W, l2.b]
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(3)
+        seq = Sequential([Linear(3, 6, rng=0), Tanh(), Linear(6, 2, rng=1)])
+        numerical_grad_check(
+            seq, MSELoss(), rng.normal(size=(4, 3)), rng.normal(size=(4, 2))
+        )
+
+    def test_train_eval_propagates(self):
+        seq = Sequential([Linear(2, 2, rng=0), ReLU()])
+        seq.eval()
+        assert all(not layer.training for layer in seq.layers)
+        seq.train()
+        assert all(layer.training for layer in seq.layers)
+
+
+class TestMLP:
+    def test_architecture(self):
+        m = MLP(4, [10, 10], 3, rng=0)
+        assert m.n_hidden_layers == 2
+        groups = m.hidden_layer_groups()
+        assert len(groups) == 3  # 2 hidden + output
+        assert groups[0][0].shape == (4, 10)
+        assert groups[-1][0].shape == (10, 3)
+
+    def test_paper_qnet_shape(self):
+        m = MLP(2, [100] * 8, 3, rng=0)
+        assert m.n_hidden_layers == 8
+        assert m.forward(np.zeros((1, 2))).shape == (1, 3)
+
+    def test_gradient_check_deep(self):
+        rng = np.random.default_rng(4)
+        m = MLP(3, [8, 8, 8], 2, rng=5)
+        numerical_grad_check(
+            m, MSELoss(), rng.normal(size=(6, 3)) + 0.1, rng.normal(size=(6, 2))
+        )
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            MLP(2, [4], 1, activation="swish9000")
+
+    def test_zero_grad_clears(self):
+        m = MLP(2, [4], 1, rng=0)
+        _, g = MSELoss()(m.forward(np.ones((2, 2))), np.zeros((2, 1)))
+        m.backward(g)
+        assert any(np.any(p.grad != 0) for p in m.parameters())
+        m.zero_grad()
+        assert all(np.all(p.grad == 0) for p in m.parameters())
+
+    def test_n_parameters(self):
+        m = MLP(4, [10], 3, rng=0)
+        assert m.n_parameters() == 4 * 10 + 10 + 10 * 3 + 3

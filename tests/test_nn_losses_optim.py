@@ -1,0 +1,147 @@
+"""Tests for loss functions and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, HuberLoss, MSELoss
+from repro.nn.module import Parameter
+from repro.nn.optim import _clip_scale
+
+
+class TestMSE:
+    def test_value(self):
+        loss, _ = MSELoss()(np.asarray([[1.0, 2.0]]), np.asarray([[0.0, 0.0]]))
+        assert loss == pytest.approx((1 + 4) / 2)
+
+    def test_gradient_is_derivative(self):
+        pred = np.asarray([[1.0, -2.0, 3.0]])
+        target = np.zeros((1, 3))
+        _, g = MSELoss()(pred, target)
+        assert np.allclose(g, 2 * pred / 3)
+
+    def test_zero_at_match(self):
+        x = np.random.default_rng(0).normal(size=(4, 2))
+        loss, g = MSELoss()(x, x)
+        assert loss == 0.0
+        assert np.allclose(g, 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        h = HuberLoss(delta=1.0)
+        loss, g = h(np.asarray([0.5]), np.asarray([0.0]))
+        assert loss == pytest.approx(0.5 * 0.25)
+        assert g[0] == pytest.approx(0.5)
+
+    def test_linear_outside_delta(self):
+        h = HuberLoss(delta=1.0)
+        loss, g = h(np.asarray([10.0]), np.asarray([0.0]))
+        assert loss == pytest.approx(1.0 * (10 - 0.5))
+        assert g[0] == pytest.approx(1.0)  # clipped gradient
+
+    def test_gradient_bounded_by_delta(self):
+        """The paper's rationale: no dramatic updates on outliers."""
+        h = HuberLoss(delta=2.0)
+        pred = np.asarray([1e6, -1e6, 0.1])
+        _, g = h(pred, np.zeros(3))
+        assert np.all(np.abs(g) <= 2.0 / 3 + 1e-12)
+
+    def test_continuity_at_delta(self):
+        h = HuberLoss(delta=1.0)
+        below, _ = h(np.asarray([0.999999]), np.asarray([0.0]))
+        above, _ = h(np.asarray([1.000001]), np.asarray([0.0]))
+        assert below == pytest.approx(above, abs=1e-5)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+def quad_params(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Parameter(rng.normal(size=(4,)), name=f"p{i}") for i in range(n)]
+
+
+def quad_step(params):
+    """Gradient of f = sum ||p||^2 / 2 is p itself."""
+    for p in params:
+        p.grad[...] = p.data
+
+
+class TestSGD:
+    def test_plain_descent_converges(self):
+        params = quad_params()
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quad_step(params)
+            opt.step()
+        assert all(np.linalg.norm(p.data) < 1e-4 for p in params)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            params = quad_params(seed=1)
+            opt = SGD(params, lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quad_step(params)
+                opt.step()
+            return sum(np.linalg.norm(p.data) for p in params)
+
+        assert run(0.9) < run(0.0)
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(quad_params(), lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(quad_params(), lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self):
+        params = quad_params(seed=2)
+        opt = Adam(params, lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            quad_step(params)
+            opt.step()
+        assert all(np.linalg.norm(p.data) < 1e-3 for p in params)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, |first step| ~= lr regardless of grad scale."""
+        p = Parameter(np.asarray([1000.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = 12345.0
+        before = p.data.copy()
+        opt.step()
+        assert abs(before[0] - p.data[0]) == pytest.approx(0.1, rel=1e-6)
+
+
+class TestClipNorm:
+    def test_scale_below_threshold_is_one(self):
+        p = Parameter(np.zeros(3))
+        p.grad[...] = [1.0, 0.0, 0.0]
+        assert _clip_scale([p], clip_norm=2.0) == 1.0
+
+    def test_scale_above_threshold_normalises(self):
+        p = Parameter(np.zeros(3))
+        p.grad[...] = [3.0, 4.0, 0.0]  # norm 5
+        assert _clip_scale([p], clip_norm=1.0) == pytest.approx(0.2)
+
+    def test_disabled_when_none(self):
+        p = Parameter(np.zeros(1))
+        p.grad[...] = [1e9]
+        assert _clip_scale([p], clip_norm=None) == 1.0
+
+    def test_sgd_respects_clip(self):
+        p = Parameter(np.asarray([0.0]))
+        opt = SGD([p], lr=1.0, clip_norm=1.0)
+        p.grad[...] = [100.0]
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Tests for the LSTM: shapes, BPTT gradient checks, learning sanity."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, Adam, LSTMRegressor, MSELoss
+
+
+def check_grads(model, x, y, atol=1e-5, n_probes=2):
+    loss_fn = MSELoss()
+    model.zero_grad()
+    _, g = loss_fn(model.forward(x), y)
+    model.backward(g)
+    eps = 1e-6
+    rng = np.random.default_rng(0)
+    for p in model.parameters():
+        flat = p.data.reshape(-1)
+        gflat = p.grad.reshape(-1)
+        for i in rng.choice(flat.size, size=min(n_probes, flat.size), replace=False):
+            old = flat[i]
+            flat[i] = old + eps
+            lp, _ = loss_fn(model.forward(x), y)
+            flat[i] = old - eps
+            lm, _ = loss_fn(model.forward(x), y)
+            flat[i] = old
+            num = (lp - lm) / (2 * eps)
+            assert num == pytest.approx(gflat[i], abs=atol), p.name
+
+
+class TestLSTMForward:
+    def test_output_shapes(self):
+        lstm = LSTM(3, 5, rng=0)
+        out = lstm.forward(np.zeros((2, 7, 3)))
+        assert out.shape == (2, 5)
+
+    def test_return_sequences_shape(self):
+        lstm = LSTM(3, 5, return_sequences=True, rng=0)
+        out = lstm.forward(np.zeros((2, 7, 3)))
+        assert out.shape == (2, 7, 5)
+
+    def test_2d_input_promoted(self):
+        lstm = LSTM(3, 5, rng=0)
+        out = lstm.forward(np.zeros((7, 3)))
+        assert out.shape == (1, 5)
+
+    def test_wrong_feature_dim_rejected(self):
+        with pytest.raises(ValueError):
+            LSTM(3, 5, rng=0).forward(np.zeros((2, 7, 4)))
+
+    def test_forget_bias_initialised_to_one(self):
+        lstm = LSTM(2, 4, rng=0)
+        H = 4
+        assert np.allclose(lstm.b.data[H : 2 * H], 1.0)
+        assert np.allclose(lstm.b.data[:H], 0.0)
+
+    def test_deterministic_init(self):
+        a = LSTM(2, 4, rng=3)
+        b = LSTM(2, 4, rng=3)
+        assert np.array_equal(a.Wx.data, b.Wx.data)
+        assert np.array_equal(a.Wh.data, b.Wh.data)
+
+
+class TestLSTMGradients:
+    def test_last_hidden_grad_check(self):
+        rng = np.random.default_rng(1)
+        m = LSTM(2, 4, rng=2)
+        x = rng.normal(size=(3, 5, 2))
+        y = rng.normal(size=(3, 4))
+        check_grads(m, x, y)
+
+    def test_sequence_output_grad_check(self):
+        rng = np.random.default_rng(2)
+        m = LSTM(2, 3, return_sequences=True, rng=4)
+        x = rng.normal(size=(2, 4, 2))
+        y = rng.normal(size=(2, 4, 3))
+        check_grads(m, x, y)
+
+    def test_input_gradient_shape(self):
+        m = LSTM(2, 3, rng=0)
+        x = np.random.default_rng(0).normal(size=(2, 6, 2))
+        out = m.forward(x)
+        dx = m.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            LSTM(2, 3, rng=0).backward(np.zeros((1, 3)))
+
+
+class TestLSTMRegressor:
+    def test_grad_check(self):
+        rng = np.random.default_rng(3)
+        m = LSTMRegressor(2, 4, 3, rng=5)
+        check_grads(m, rng.normal(size=(3, 6, 2)), rng.normal(size=(3, 3)))
+
+    def test_learns_sequence_sum(self):
+        """The regressor can fit a simple aggregate of its input sequence."""
+        rng = np.random.default_rng(6)
+        m = LSTMRegressor(1, 12, 1, rng=7)
+        opt = Adam(m.parameters(), lr=0.02)
+        loss_fn = MSELoss()
+        x = rng.uniform(-1, 1, size=(64, 8, 1))
+        y = x.sum(axis=1)
+        first = None
+        for step in range(300):
+            m.zero_grad()
+            loss, g = loss_fn(m.forward(x), y)
+            if first is None:
+                first = loss
+            m.backward(g)
+            opt.step()
+        assert loss < first * 0.05

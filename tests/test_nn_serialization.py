@@ -1,0 +1,126 @@
+"""Tests for weight (de)serialisation and FedAvg reductions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.nn.serialization import (
+    average_weights,
+    clone_weights,
+    count_parameters,
+    flatten_weights,
+    get_weights,
+    layer_parameter_groups,
+    set_weights,
+    unflatten_weights,
+    weights_allclose,
+    weights_nbytes,
+)
+
+
+@pytest.fixture()
+def model():
+    return MLP(3, [5, 5], 2, rng=0)
+
+
+class TestGetSet:
+    def test_roundtrip(self, model):
+        w = get_weights(model)
+        other = MLP(3, [5, 5], 2, rng=99)
+        set_weights(other, w)
+        assert weights_allclose(get_weights(other), w)
+
+    def test_get_returns_copies(self, model):
+        w = get_weights(model)
+        w[0][...] = 0.0
+        assert not np.allclose(get_weights(model)[0], 0.0)
+
+    def test_set_rejects_wrong_count(self, model):
+        with pytest.raises(ValueError):
+            set_weights(model, get_weights(model)[:-1])
+
+    def test_set_rejects_wrong_shape(self, model):
+        w = get_weights(model)
+        w[0] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            set_weights(model, w)
+
+
+class TestAverageWeights:
+    def test_uniform_mean(self):
+        a = [np.asarray([0.0, 0.0]), np.asarray([[1.0]])]
+        b = [np.asarray([2.0, 4.0]), np.asarray([[3.0]])]
+        avg = average_weights([a, b])
+        assert np.allclose(avg[0], [1.0, 2.0])
+        assert np.allclose(avg[1], [[2.0]])
+
+    def test_weighted_mean(self):
+        a = [np.asarray([0.0])]
+        b = [np.asarray([10.0])]
+        avg = average_weights([a, b], client_weights=[3.0, 1.0])
+        assert avg[0][0] == pytest.approx(2.5)
+
+    def test_identity_for_single_client(self):
+        a = [np.asarray([1.0, 2.0])]
+        assert np.allclose(average_weights([a])[0], a[0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            average_weights([[np.zeros(2)], [np.zeros(2), np.zeros(2)]])
+
+    def test_rejects_bad_client_weights(self):
+        a = [np.zeros(1)]
+        with pytest.raises(ValueError):
+            average_weights([a, a], client_weights=[1.0])
+        with pytest.raises(ValueError):
+            average_weights([a, a], client_weights=[0.0, 0.0])
+
+    def test_idempotent_on_identical_models(self, model):
+        w = get_weights(model)
+        avg = average_weights([w, clone_weights(w), clone_weights(w)])
+        assert weights_allclose(avg, w)
+
+
+class TestFlatten:
+    def test_roundtrip(self, model):
+        w = get_weights(model)
+        vec = flatten_weights(w)
+        assert vec.shape == (count_parameters(w),)
+        back = unflatten_weights(vec, w)
+        assert weights_allclose(back, w)
+
+    def test_rejects_wrong_size(self, model):
+        w = get_weights(model)
+        with pytest.raises(ValueError):
+            unflatten_weights(np.zeros(3), w)
+
+    def test_empty(self):
+        assert flatten_weights([]).shape == (0,)
+
+
+class TestCountsAndGroups:
+    def test_count_matches_model(self, model):
+        assert count_parameters(model) == count_parameters(get_weights(model))
+
+    def test_nbytes_float64(self, model):
+        assert weights_nbytes(model) == count_parameters(model) * 8
+
+    def test_layer_groups_for_mlp(self, model):
+        groups = layer_parameter_groups(model)
+        assert len(groups) == 3  # 2 hidden + output
+        total = sum(p.size for g in groups for p in g)
+        assert total == model.n_parameters()
+
+    def test_layer_groups_fallback(self):
+        from repro.nn import Linear
+
+        lin = Linear(2, 2, rng=0)
+        groups = layer_parameter_groups(lin)
+        assert len(groups) == 2  # one group per parameter
+
+    def test_weights_allclose_detects_difference(self, model):
+        w = get_weights(model)
+        w2 = clone_weights(w)
+        w2[0][0, 0] += 1.0
+        assert not weights_allclose(w, w2)
+        assert not weights_allclose(w, w[:-1])

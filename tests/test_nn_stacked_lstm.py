@@ -1,0 +1,90 @@
+"""Tests for the stacked-LSTM regressor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, LSTMRegressor, MSELoss
+
+
+class TestStackedConstruction:
+    def test_layer_wiring(self):
+        m = LSTMRegressor(3, 6, 2, n_layers=3, rng=0)
+        assert m.n_layers == 3
+        assert m.layers[0].input_size == 3
+        assert m.layers[1].input_size == 6
+        # Lower layers emit sequences; top layer emits the last state.
+        assert m.layers[0].return_sequences is True
+        assert m.layers[1].return_sequences is True
+        assert m.layers[2].return_sequences is False
+
+    def test_single_layer_backcompat(self):
+        m = LSTMRegressor(3, 6, 2, rng=0)
+        assert m.n_layers == 1
+        assert m.lstm is m.layers[0]
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            LSTMRegressor(3, 6, 2, n_layers=0)
+
+    def test_parameter_count_scales(self):
+        one = LSTMRegressor(3, 6, 2, n_layers=1, rng=0).n_parameters()
+        two = LSTMRegressor(3, 6, 2, n_layers=2, rng=0).n_parameters()
+        assert two > one
+
+
+class TestStackedComputation:
+    def test_forward_shape(self):
+        m = LSTMRegressor(2, 5, 4, n_layers=2, rng=1)
+        out = m.forward(np.zeros((3, 7, 2)))
+        assert out.shape == (3, 4)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        m = LSTMRegressor(2, 4, 2, n_layers=2, rng=3)
+        x = rng.normal(size=(2, 5, 2))
+        y = rng.normal(size=(2, 2))
+        loss_fn = MSELoss()
+        m.zero_grad()
+        _, g = loss_fn(m.forward(x), y)
+        m.backward(g)
+        eps = 1e-6
+        for p in m.parameters()[:4] + m.parameters()[-2:]:
+            idx = tuple(0 for _ in p.data.shape)
+            old = p.data[idx]
+            p.data[idx] = old + eps
+            lp, _ = loss_fn(m.forward(x), y)
+            p.data[idx] = old - eps
+            lm, _ = loss_fn(m.forward(x), y)
+            p.data[idx] = old
+            num = (lp - lm) / (2 * eps)
+            assert num == pytest.approx(p.grad[idx], abs=1e-5), p.name
+
+    def test_stacked_learns(self):
+        rng = np.random.default_rng(4)
+        m = LSTMRegressor(1, 8, 1, n_layers=2, rng=5)
+        opt = Adam(m.parameters(), lr=0.02)
+        loss_fn = MSELoss()
+        x = rng.uniform(-1, 1, size=(48, 6, 1))
+        y = x.mean(axis=1)
+        first = None
+        for _ in range(200):
+            m.zero_grad()
+            loss, g = loss_fn(m.forward(x), y)
+            first = first if first is not None else loss
+            m.backward(g)
+            opt.step()
+        assert loss < first * 0.2
+
+
+class TestForecasterWithLayers:
+    def test_n_layers_threads_through(self):
+        from repro.forecast import LSTMForecaster
+
+        f = LSTMForecaster(6, 3, hidden_size=4, n_layers=2, n_extra=0, seed=0)
+        assert f.model.n_layers == 2
+        g = f.clone()
+        assert g.model.n_layers == 2
+        X = np.random.default_rng(0).uniform(0, 1, size=(5, 6))
+        y = np.random.default_rng(1).uniform(0, 1, size=(5, 3))
+        f.fit(X, y)
+        assert f.predict(X).shape == (5, 3)

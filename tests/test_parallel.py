@@ -1,0 +1,89 @@
+"""Tests for the parallel runtime."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    ParallelConfig,
+    parallel_map,
+    parallel_starmap,
+    partition_chunks,
+    partition_round_robin,
+)
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+class TestParallelConfig:
+    def test_serial_for_small_inputs(self):
+        cfg = ParallelConfig(n_workers=8, min_tasks_per_worker=4)
+        assert cfg.effective_workers(3) == 1
+
+    def test_workers_capped_by_tasks(self):
+        cfg = ParallelConfig(n_workers=8, min_tasks_per_worker=2)
+        assert cfg.effective_workers(6) == 3
+
+    def test_auto_positive(self):
+        cfg = ParallelConfig.auto()
+        assert 1 <= cfg.n_workers <= max(1, (os.cpu_count() or 2))
+
+    def test_auto_cap(self):
+        assert ParallelConfig.auto(max_workers=1).n_workers == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(n_workers=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(min_tasks_per_worker=0)
+
+
+class TestParallelMap:
+    def test_serial_matches_builtin_map(self):
+        items = list(range(10))
+        assert parallel_map(square, items) == [x * x for x in items]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(24))
+        cfg = ParallelConfig(n_workers=2, min_tasks_per_worker=2)
+        assert parallel_map(square, items, cfg) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(square, []) == []
+
+    def test_starmap_serial_and_parallel(self):
+        args = [(i, i + 1) for i in range(12)]
+        expected = [a + b for a, b in args]
+        assert parallel_starmap(add, args) == expected
+        cfg = ParallelConfig(n_workers=2, min_tasks_per_worker=2)
+        assert parallel_starmap(add, args, cfg) == expected
+
+
+class TestPartition:
+    def test_round_robin_balanced(self):
+        parts = partition_round_robin(list(range(10)), 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert sorted(x for p in parts for x in p) == list(range(10))
+
+    def test_chunks_contiguous(self):
+        parts = partition_chunks(list(range(10)), 3)
+        assert parts == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_more_parts_than_items(self):
+        parts = partition_chunks([1, 2], 4)
+        assert parts == [[1], [2], [], []]
+
+    def test_single_part(self):
+        assert partition_round_robin([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_chunks([1], 0)
+        with pytest.raises(ValueError):
+            partition_round_robin([1], 0)

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.federated.aggregation import split_base_personal
+from repro.metrics.accuracy import accuracy_series, horizon_energy_accuracy
+from repro.metrics.cdf import cdf_at, empirical_cdf
+from repro.nn import HuberLoss, MSELoss
+from repro.nn.serialization import (
+    average_weights,
+    flatten_weights,
+    unflatten_weights,
+    weights_allclose,
+)
+from repro.forecast.features import make_windows, window_count
+from repro.rl.modes import classify_modes
+from repro.rl.replay import ReplayBuffer
+from repro.rl.reward import REWARD_MATRIX, reward_vector
+
+finite_arrays = hnp.arrays(
+    np.float64,
+    st.integers(1, 20),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestWeightInvariants:
+    @given(st.lists(finite_arrays, min_size=1, max_size=4))
+    def test_flatten_unflatten_roundtrip(self, arrays):
+        vec = flatten_weights(arrays)
+        back = unflatten_weights(vec, arrays)
+        assert weights_allclose(back, [np.asarray(a) for a in arrays])
+
+    @given(finite_arrays, st.integers(2, 5))
+    def test_average_of_identical_is_identity(self, arr, n):
+        avg = average_weights([[arr.copy()] for _ in range(n)])
+        assert np.allclose(avg[0], arr)
+
+    @given(finite_arrays, finite_arrays.map(lambda a: a))
+    def test_average_commutes(self, a, b):
+        if a.shape != b.shape:
+            b = np.resize(b, a.shape)
+        ab = average_weights([[a], [b]])
+        ba = average_weights([[b], [a]])
+        assert np.allclose(ab[0], ba[0])
+
+    @given(
+        st.lists(st.floats(0, 1e3, allow_nan=False), min_size=2, max_size=5),
+    )
+    def test_average_bounded_by_extremes(self, values):
+        arrays = [[np.asarray([v])] for v in values]
+        avg = average_weights(arrays)[0][0]
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+
+class TestSplitInvariants:
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=9), st.data())
+    def test_split_partitions_indices(self, sizes, data):
+        alpha = data.draw(st.integers(0, len(sizes)))
+        base, personal = split_base_personal(sizes, alpha)
+        total = sum(sizes)
+        assert sorted(base + personal) == list(range(total))
+        assert set(base).isdisjoint(personal)
+        # alpha monotone: more alpha -> more base arrays
+        if alpha < len(sizes):
+            base2, _ = split_base_personal(sizes, alpha + 1)
+            assert len(base2) > len(base)
+
+
+class TestLossInvariants:
+    @given(
+        hnp.arrays(np.float64, (4, 3), elements=st.floats(-100, 100)),
+        hnp.arrays(np.float64, (4, 3), elements=st.floats(-100, 100)),
+    )
+    def test_losses_nonnegative_and_zero_at_match(self, pred, target):
+        for loss_fn in (MSELoss(), HuberLoss(1.0)):
+            loss, grad = loss_fn(pred, target)
+            assert loss >= 0
+            zero, gz = loss_fn(target, target)
+            assert zero == 0.0
+            assert np.allclose(gz, 0.0)
+
+    @given(hnp.arrays(np.float64, (8,), elements=st.floats(-1e5, 1e5)))
+    def test_huber_gradient_bounded(self, pred):
+        delta = 2.0
+        _, g = HuberLoss(delta)(pred, np.zeros_like(pred))
+        assert np.all(np.abs(g) <= delta / pred.size + 1e-12)
+
+    @given(
+        hnp.arrays(np.float64, (6,), elements=st.floats(-10, 10)),
+        hnp.arrays(np.float64, (6,), elements=st.floats(-10, 10)),
+    )
+    def test_huber_below_mse_scale(self, pred, target):
+        """Huber never exceeds the corresponding 0.5*MSE elementwise mean."""
+        h, _ = HuberLoss(1.0)(pred, target)
+        m, _ = MSELoss()(pred, target)
+        assert h <= 0.5 * m + 1e-9
+
+
+class TestMetricInvariants:
+    @given(
+        hnp.arrays(np.float64, (10,), elements=st.floats(0, 100)),
+        hnp.arrays(np.float64, (10,), elements=st.floats(0, 100)),
+    )
+    def test_accuracy_in_unit_interval(self, pred, real):
+        acc = accuracy_series(pred, real)
+        assert np.all((acc >= 0.0) & (acc <= 1.0))
+
+    @given(
+        hnp.arrays(np.float64, (5, 4), elements=st.floats(0, 10)),
+    )
+    def test_horizon_accuracy_perfect_on_match(self, real):
+        acc = horizon_energy_accuracy(real, real)
+        assert np.all(acc == 1.0)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 50), elements=st.floats(-100, 100)))
+    def test_cdf_monotone_and_bounded(self, samples):
+        x, F = empirical_cdf(samples)
+        assert np.all(np.diff(F) >= 0)
+        assert F[-1] == 1.0
+        q = cdf_at(samples, np.linspace(-200, 200, 11))
+        assert np.all(np.diff(q) >= 0)
+        assert q[0] == 0.0 and q[-1] == 1.0
+
+
+class TestWindowInvariants:
+    @given(
+        st.integers(10, 80),  # series length
+        st.integers(1, 8),    # window
+        st.integers(1, 8),    # horizon
+        st.integers(1, 8),    # stride
+    )
+    def test_window_count_formula(self, n, w, h, s):
+        series = np.arange(float(n))
+        X, y = make_windows(series, w, h, stride=s)
+        assert X.shape[0] == window_count(n, w, h, s)
+        assert X.shape == (X.shape[0], w)
+        assert y.shape == (X.shape[0], h)
+
+    @given(st.integers(20, 60), st.integers(1, 5), st.integers(1, 5))
+    def test_targets_follow_windows(self, n, w, h):
+        series = np.arange(float(n))
+        X, y, offs = make_windows(series, w, h, stride=h, return_offsets=True)
+        for i in range(X.shape[0]):
+            # Continuity: the target starts right after the window ends.
+            assert y[i][0] == X[i][-1] + 1
+
+
+class TestModeClassifierInvariants:
+    @given(
+        hnp.arrays(np.float64, (20,), elements=st.floats(0, 5)),
+        st.floats(0.5, 3.0),
+        st.floats(0.001, 0.4),
+    )
+    def test_modes_always_valid(self, values, on_kw, sb_ratio):
+        standby = on_kw * sb_ratio
+        modes = classify_modes(values, on_kw, standby)
+        assert np.all(np.isin(modes, (0, 1, 2)))
+
+    @given(st.floats(0.5, 3.0), st.floats(0.01, 0.3))
+    def test_nominal_levels_classified_exactly(self, on_kw, sb_ratio):
+        standby = on_kw * sb_ratio
+        modes = classify_modes(np.asarray([0.0, standby, on_kw]), on_kw, standby)
+        assert list(modes) == [0, 1, 2]
+
+
+class TestRewardInvariants:
+    @given(
+        hnp.arrays(np.int64, (15,), elements=st.integers(0, 2)),
+        hnp.arrays(np.int64, (15,), elements=st.integers(0, 2)),
+    )
+    def test_reward_range_and_match_positive(self, gt, ac):
+        r = reward_vector(gt, ac)
+        assert np.all(np.isin(r, REWARD_MATRIX.ravel()))
+        assert np.all(r[gt == ac] > 0)
+
+
+class TestReplayInvariants:
+    @settings(deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 60))
+    def test_size_never_exceeds_capacity(self, capacity, pushes):
+        buf = ReplayBuffer(capacity, 2, seed=0)
+        for i in range(pushes):
+            buf.push(np.zeros(2), 0, float(i), np.zeros(2), False)
+        assert len(buf) == min(capacity, pushes)
+        s, a, r, s2, d = buf.sample(min(8, len(buf)))
+        # Sampled rewards are among those still retained.
+        lo = max(0, pushes - capacity)
+        assert np.all((r >= lo) & (r < pushes))

@@ -1,0 +1,116 @@
+"""Property-based tests on the data substrate and federation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DataConfig
+from repro.data.devices import MODE_OFF, MODE_ON, MODE_STANDBY
+from repro.data.generator import TraceGenerator
+from repro.federated.aggregation import aggregate_partial, split_base_personal
+from repro.federated.scheduler import BroadcastScheduler
+from repro.rng import hash_seed
+
+
+class TestGeneratorInvariants:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(0, 2**20),          # seed
+        st.floats(0.0, 1.0),            # heterogeneity
+        st.sampled_from([240, 480]),    # minutes_per_day
+    )
+    def test_mode_power_band_invariant(self, seed, het, mpd):
+        """Every generated reading lies inside its mode's band — the
+        precondition of the paper's classifier — for ANY config."""
+        cfg = DataConfig(
+            n_residences=2, n_days=1, minutes_per_day=mpd,
+            device_types=("tv", "desktop"), heterogeneity=het, seed=seed,
+        )
+        ds = TraceGenerator(cfg).generate()
+        for res in ds.residences:
+            for _, trace in res:
+                p, m = trace.power_kw, trace.mode
+                on = m == MODE_ON
+                sb = m == MODE_STANDBY
+                off = m == MODE_OFF
+                if on.any():
+                    assert p[on].min() >= 0.9 * trace.on_kw * 0.99
+                    assert p[on].max() <= 1.1 * trace.on_kw * 1.01
+                if sb.any():
+                    assert p[sb].min() >= 0.9 * trace.standby_kw * 0.99
+                    assert p[sb].max() <= 1.1 * trace.standby_kw * 1.01
+                if off.any():
+                    assert p[off].max() < 0.9 * trace.standby_kw
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 2**20))
+    def test_generation_deterministic(self, seed):
+        cfg = DataConfig(
+            n_residences=1, n_days=1, minutes_per_day=240,
+            device_types=("tv",), seed=seed,
+        )
+        a = TraceGenerator(cfg).generate()[0]["tv"].power_kw
+        b = TraceGenerator(cfg).generate()[0]["tv"].power_kw
+        assert np.array_equal(a, b)
+
+
+class TestSchedulerInvariants:
+    @settings(deadline=None)
+    @given(
+        st.floats(0.05, 48.0),
+        st.sampled_from([240, 480, 1440]),
+        st.integers(0, 5000),
+        st.integers(1, 5000),
+    )
+    def test_events_within_range_and_periodic(self, period, mpd, start, span):
+        s = BroadcastScheduler(period, mpd)
+        events = s.events_in(start, start + span)
+        assert np.all(events >= max(start, 1))
+        assert np.all(events < start + span)
+        assert np.all(events % s.period_minutes == 0)
+        # Consecutive events are exactly one period apart.
+        if events.size > 1:
+            assert np.all(np.diff(events) == s.period_minutes)
+
+    @settings(deadline=None)
+    @given(st.floats(0.05, 48.0), st.integers(1, 3000))
+    def test_fires_at_iff_in_events(self, period, minute):
+        s = BroadcastScheduler(period)
+        fires = s.fires_at(minute)
+        in_events = minute in set(s.events_in(0, minute + 1).tolist())
+        assert fires == in_events
+
+
+class TestPartialAggregationInvariants:
+    @settings(deadline=None)
+    @given(
+        st.integers(1, 6),     # groups
+        st.integers(1, 3),     # arrays per group
+        st.integers(1, 4),     # peers
+        st.data(),
+    )
+    def test_personal_arrays_never_move(self, n_groups, per_group, n_peers, data):
+        alpha = data.draw(st.integers(0, n_groups))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        sizes = [per_group] * n_groups
+        total = n_groups * per_group
+        local = [rng.normal(size=3) for _ in range(total)]
+        base_idx, personal_idx = split_base_personal(sizes, alpha)
+        received = [
+            [rng.normal(size=3) for _ in base_idx] for _ in range(n_peers)
+        ]
+        out = aggregate_partial(local, received, base_idx)
+        for i in personal_idx:
+            assert np.array_equal(out[i], local[i])
+        # Base arrays become the mean of local + peers.
+        for j, i in enumerate(base_idx):
+            expected = np.mean([local[i], *[r[j] for r in received]], axis=0)
+            assert np.allclose(out[i], expected)
+
+
+class TestHashSeedInvariants:
+    @given(st.integers(0, 2**31), st.text(max_size=12), st.integers(0, 10**6))
+    def test_always_valid_seed(self, master, label, num):
+        s = hash_seed(master, label, num)
+        assert 0 <= s < 2**63
+        np.random.default_rng(s)  # accepted by numpy

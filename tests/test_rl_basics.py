@@ -1,0 +1,160 @@
+"""Tests for rl primitives: mode classifier, Table-1 reward, replay, policy."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    REWARD_MATRIX,
+    EpsilonGreedy,
+    ReplayBuffer,
+    classify_mode,
+    classify_modes,
+    reward,
+    reward_vector,
+)
+
+
+class TestClassifyModes:
+    def test_paper_bands(self):
+        on, sb = 1.0, 0.1
+        assert classify_mode(0.0, on, sb) == 0
+        assert classify_mode(0.095, on, sb) == 1   # inside [0.09, 0.11]
+        assert classify_mode(1.05, on, sb) == 2    # inside [0.9, 1.1]
+
+    def test_band_edges(self):
+        on, sb = 1.0, 0.1
+        assert classify_mode(0.9 * sb, on, sb) == 1
+        assert classify_mode(1.1 * sb, on, sb) == 1
+        assert classify_mode(0.9 * on, on, sb) == 2
+        assert classify_mode(1.1 * on, on, sb) == 2
+
+    def test_out_of_band_resolves_to_nearest(self):
+        on, sb = 1.0, 0.1
+        assert classify_mode(0.5, on, sb) in (1, 2)
+        assert classify_mode(0.3, on, sb) == 1  # log-nearer to 0.1 than 1.0
+        assert classify_mode(0.7, on, sb) == 2
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1.2, size=50)
+        vec = classify_modes(values, 1.0, 0.1)
+        scalar = [classify_mode(v, 1.0, 0.1) for v in values]
+        assert np.array_equal(vec, scalar)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_mode(0.5, on_kw=0.0, standby_kw=0.1)
+        with pytest.raises(ValueError):
+            classify_mode(0.5, on_kw=1.0, standby_kw=2.0)
+
+
+class TestRewardTable:
+    """Table 1, all nine cells."""
+
+    @pytest.mark.parametrize(
+        "truth,action,expected",
+        [
+            (2, 2, 10.0), (2, 1, -10.0), (2, 0, -30.0),
+            (1, 2, -10.0), (1, 1, 10.0), (1, 0, 30.0),
+            (0, 2, -30.0), (0, 1, -10.0), (0, 0, 10.0),
+        ],
+    )
+    def test_all_cells(self, truth, action, expected):
+        assert reward(truth, action) == expected
+
+    def test_standby_kill_is_best_reward(self):
+        assert REWARD_MATRIX.max() == reward(1, 0) == 30.0
+
+    def test_vectorised(self):
+        gt = np.asarray([0, 1, 2])
+        ac = np.asarray([0, 0, 0])
+        assert np.allclose(reward_vector(gt, ac), [10.0, 30.0, -30.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reward(3, 0)
+        with pytest.raises(ValueError):
+            reward(0, -1)
+        with pytest.raises(ValueError):
+            reward_vector(np.asarray([0, 5]), np.asarray([0, 0]))
+
+
+class TestReplayBuffer:
+    def make(self, capacity=8, dim=2):
+        return ReplayBuffer(capacity, dim, seed=0)
+
+    def test_push_and_len(self):
+        buf = self.make()
+        for i in range(5):
+            buf.push(np.zeros(2), 0, float(i), np.zeros(2), False)
+        assert len(buf) == 5 and not buf.is_full
+
+    def test_ring_overwrite(self):
+        buf = self.make(capacity=4)
+        for i in range(6):
+            buf.push(np.full(2, i), 0, float(i), np.zeros(2), False)
+        assert len(buf) == 4 and buf.is_full
+        s, a, r, s2, d = buf.sample(4)
+        assert r.min() >= 2.0  # transitions 0 and 1 were overwritten
+
+    def test_sample_shapes_and_types(self):
+        buf = self.make()
+        for i in range(8):
+            buf.push(np.full(2, i), i % 3, 1.0, np.full(2, i + 1), i == 7)
+        s, a, r, s2, d = buf.sample(4)
+        assert s.shape == (4, 2) and s2.shape == (4, 2)
+        assert a.dtype == np.int64 and d.dtype == bool
+
+    def test_sample_clamps_to_size(self):
+        buf = self.make()
+        buf.push(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        s, *_ = buf.sample(10)
+        assert s.shape[0] == 1
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            self.make().sample(1)
+
+    def test_state_shape_validated(self):
+        with pytest.raises(ValueError):
+            self.make().push(np.zeros(3), 0, 0.0, np.zeros(2), False)
+
+    def test_clear(self):
+        buf = self.make()
+        buf.push(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        buf.clear()
+        assert len(buf) == 0
+
+
+class TestEpsilonGreedy:
+    def test_linear_decay(self):
+        pol = EpsilonGreedy(3, start=1.0, end=0.0, decay_steps=10, seed=0)
+        assert pol.epsilon == 1.0
+        for _ in range(10):
+            pol.select(np.zeros(3))
+        assert pol.epsilon == pytest.approx(0.0)
+
+    def test_greedy_flag_picks_argmax(self):
+        pol = EpsilonGreedy(3, start=1.0, end=1.0, decay_steps=1, seed=0)
+        q = np.asarray([0.0, 5.0, 1.0])
+        assert all(pol.select(q, greedy=True) == 1 for _ in range(5))
+
+    def test_zero_epsilon_is_greedy(self):
+        pol = EpsilonGreedy(3, start=0.0, end=0.0, decay_steps=1, seed=0)
+        assert pol.select(np.asarray([1.0, 0.0, 2.0])) == 2
+
+    def test_full_epsilon_explores(self):
+        pol = EpsilonGreedy(3, start=1.0, end=1.0, decay_steps=1, seed=0)
+        picks = {pol.select(np.asarray([100.0, 0.0, 0.0])) for _ in range(100)}
+        assert picks == {0, 1, 2}
+
+    def test_reset(self):
+        pol = EpsilonGreedy(2, start=1.0, end=0.0, decay_steps=5, seed=0)
+        for _ in range(5):
+            pol.select(np.zeros(2))
+        pol.reset()
+        assert pol.epsilon == 1.0
+
+    def test_wrong_qvalue_shape_rejected(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(3).select(np.zeros(4))

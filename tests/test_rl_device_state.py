@@ -1,0 +1,77 @@
+"""Tests for the device-aware state featurisation and its role in the
+personalization mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.data.devices import DEVICE_CATALOG
+from repro.rl.env import DeviceEnv
+from repro.rl.qnet import (
+    DEVICE_VOCAB,
+    REF_KW,
+    STATE_DIM,
+    build_state,
+    build_states,
+    device_index,
+)
+
+
+class TestDeviceVocab:
+    def test_vocab_matches_catalog(self):
+        assert DEVICE_VOCAB == tuple(DEVICE_CATALOG)
+        assert STATE_DIM == 2 + len(DEVICE_VOCAB)
+
+    def test_device_index(self):
+        assert device_index("tv") == DEVICE_VOCAB.index("tv")
+        assert device_index(None) is None
+        assert device_index("not_a_device") is None
+
+
+class TestOneHotBlock:
+    def test_one_hot_set_for_known_device(self):
+        s = build_state(0.1, 0.1, device="tv")
+        block = s[2:]
+        assert block.sum() == 1.0
+        assert block[DEVICE_VOCAB.index("tv")] == 1.0
+
+    def test_zeros_for_unknown_device(self):
+        s = build_state(0.1, 0.1, device="warp_core")
+        assert np.all(s[2:] == 0.0)
+        s = build_state(0.1, 0.1)
+        assert np.all(s[2:] == 0.0)
+
+    def test_value_channels_unaffected_by_device(self):
+        a = build_state(0.05, 0.07, device="tv")
+        b = build_state(0.05, 0.07, device="hvac")
+        assert np.allclose(a[:2], b[:2])
+        assert not np.allclose(a[2:], b[2:])
+
+    def test_global_scale_shared_across_devices(self):
+        """The same wattage maps to the same value feature regardless of
+        device — the cross-home/cross-device ambiguity personalization
+        resolves lives on one scale."""
+        v = 0.06
+        s_states = build_states(np.asarray([v]), np.asarray([v]), device="light")
+        c_states = build_states(np.asarray([v]), np.asarray([v]), device="computer")
+        assert s_states[0, 0] == c_states[0, 0]
+        expected = np.log1p(v / REF_KW) / 3.0
+        assert s_states[0, 0] == pytest.approx(expected)
+
+
+class TestEnvDevice:
+    def test_env_threads_device_into_states(self):
+        real = np.asarray([0.05, 0.05])
+        env = DeviceEnv(real.copy(), real, 0.1, 0.01, device="tv")
+        s = env.reset()
+        assert s[2 + DEVICE_VOCAB.index("tv")] == 1.0
+
+    def test_env_without_device_has_zero_block(self):
+        real = np.asarray([0.05, 0.05])
+        env = DeviceEnv(real.copy(), real, 0.1, 0.01)
+        assert np.all(env.reset()[2:] == 0.0)
+
+    def test_different_devices_give_distinct_states(self):
+        real = np.asarray([0.05, 0.05])
+        a = DeviceEnv(real.copy(), real, 0.1, 0.01, device="tv").reset()
+        b = DeviceEnv(real.copy(), real, 0.1, 0.01, device="light").reset()
+        assert not np.allclose(a, b)

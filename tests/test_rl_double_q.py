@@ -1,0 +1,53 @@
+"""Tests for the Double-DQN extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import DQNConfig
+from repro.rl import STATE_DIM, DeviceEnv, DQNAgent, build_state
+
+
+def make_config(double_q):
+    return DQNConfig(
+        hidden_width=10, learning_rate=0.01, batch_size=8,
+        memory_capacity=200, epsilon_decay_steps=200,
+        double_q=double_q, reward_scale=1 / 30,
+    )
+
+
+class TestDoubleQ:
+    def test_flag_changes_learning_trajectory(self):
+        """With identical seeds and data, the two target rules diverge."""
+        agents = {flag: DQNAgent(make_config(flag), seed=3) for flag in (False, True)}
+        rng = np.random.default_rng(0)
+        transitions = [
+            (rng.uniform(0, 1, STATE_DIM), int(rng.integers(0, 3)),
+             float(rng.normal()), rng.uniform(0, 1, STATE_DIM), False)
+            for _ in range(64)
+        ]
+        for agent in agents.values():
+            for t in transitions:
+                agent.replay.push(*t)
+            for _ in range(30):
+                agent.learn_step()
+        w_vanilla = agents[False].get_weights()
+        w_double = agents[True].get_weights()
+        assert any(
+            not np.allclose(a, b) for a, b in zip(w_vanilla, w_double)
+        )
+
+    def test_double_q_still_learns_policy(self):
+        agent = DQNAgent(make_config(True), seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            sb = rng.random(10) < 0.5
+            real = np.where(sb, 0.01, 0.12)
+            mode = np.where(sb, 1, 2).astype(np.int8)
+            env = DeviceEnv(real.copy(), real, 0.12, 0.01,
+                            ground_truth_mode=mode, device="tv")
+            agent.run_episode(env, learn=True)
+        assert agent.act(build_state(0.01, 0.01, device="tv"), greedy=True) == 0
+        assert agent.act(build_state(0.12, 0.12, device="tv"), greedy=True) == 2
+
+    def test_default_is_paper_vanilla(self):
+        assert DQNConfig().double_q is False

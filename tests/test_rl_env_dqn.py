@@ -1,0 +1,188 @@
+"""Tests for the device MDP environment and the DQN agent."""
+
+import numpy as np
+import pytest
+
+from repro.config import DQNConfig
+from repro.rl import STATE_DIM, DeviceEnv, DQNAgent, build_state, build_states, make_qnet
+
+
+def make_env(n=12, on=1.0, sb=0.1):
+    """Half standby, half on, with perfect forecast."""
+    real = np.concatenate([np.full(n // 2, sb), np.full(n - n // 2, on)])
+    mode = np.concatenate([np.ones(n // 2, dtype=np.int8), np.full(n - n // 2, 2, dtype=np.int8)])
+    return DeviceEnv(real.copy(), real, on, sb, ground_truth_mode=mode)
+
+
+class TestStateFeaturisation:
+    def test_shapes(self):
+        s = build_states(np.zeros(5), np.zeros(5), 1.0, 0.1)
+        assert s.shape == (5, STATE_DIM)
+        assert build_state(0.0, 0.0, 1.0).shape == (STATE_DIM,)
+
+    def test_levels_are_separated(self):
+        s = build_states(np.asarray([0.0, 0.1, 1.0]), np.zeros(3), 1.0, 0.1)
+        off, sb, on = s[:, 0]
+        assert off < sb < on
+        assert sb - off > 0.3  # standby is distinguishable from off
+
+    def test_monotone_in_value(self):
+        v = np.linspace(0, 1.5, 20)
+        s = build_states(v, v, 1.0, 0.1)
+        assert np.all(np.diff(s[:, 0]) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_states(np.zeros(3), np.zeros(4), 1.0, 0.1)
+        with pytest.raises(ValueError):
+            build_states(np.zeros(3), np.zeros(3), 0.0, 0.1)
+
+
+class TestQNet:
+    def test_paper_architecture(self):
+        net = make_qnet(DQNConfig(), rng=0)
+        assert net.n_hidden_layers == 8
+        assert net.hidden_sizes == (100,) * 8
+        assert net.out_dim == 3
+
+    def test_layer_groups_count(self):
+        net = make_qnet(DQNConfig(n_hidden_layers=4, hidden_width=10), rng=0)
+        assert len(net.hidden_layer_groups()) == 5
+
+
+class TestDeviceEnv:
+    def test_episode_walkthrough(self):
+        env = make_env(4)
+        s = env.reset()
+        assert s.shape == (STATE_DIM,)
+        total, done = 0.0, False
+        steps = 0
+        while not done:
+            step = env.step(2)  # always "on"
+            total += step.reward
+            done = step.done
+            steps += 1
+        assert steps == 4
+        # Ground truth: standby, standby, on, on -> -10, -10, +10, +10
+        assert total == pytest.approx(0.0)
+
+    def test_step_after_done_raises(self):
+        env = make_env(2)
+        env.reset()
+        env.step(0)
+        env.step(0)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_controlled_power_semantics(self):
+        env = make_env(4, on=1.0, sb=0.1)
+        env.reset()
+        off_step = env.step(0)       # real standby 0.1 -> controlled 0
+        assert off_step.controlled_kw == 0.0
+        sb_step = env.step(1)        # real standby -> capped at 1.1*sb
+        assert sb_step.controlled_kw <= 0.11 + 1e-12
+        on_step = env.step(2)        # real on 1.0 passes through
+        assert on_step.controlled_kw == pytest.approx(1.0)
+        forced_off = env.step(0)     # real on, forced off
+        assert forced_off.controlled_kw == 0.0
+        assert forced_off.reward == -30.0
+
+    def test_optimal_policy_and_max_reward(self):
+        env = make_env(6)
+        opt = env.optimal_actions()
+        # standby minutes -> off (0), on minutes -> on (2)
+        assert np.array_equal(opt, [0, 0, 0, 2, 2, 2])
+        assert env.max_episode_reward() == pytest.approx(3 * 30 + 3 * 10)
+
+    def test_classifies_modes_when_not_given(self):
+        real = np.asarray([0.0, 0.1, 1.0])
+        env = DeviceEnv(real.copy(), real, 1.0, 0.1)
+        assert np.array_equal(env.ground_truth_mode, [0, 1, 2])
+
+    def test_rejects_bad_action(self):
+        env = make_env(2)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(3)
+
+    def test_rejects_misaligned_series(self):
+        with pytest.raises(ValueError):
+            DeviceEnv(np.zeros(3), np.zeros(4), 1.0, 0.1)
+
+
+class TestDQNAgent:
+    @pytest.fixture()
+    def config(self):
+        # Paper hyperparameters except: narrower layers and a higher
+        # learning rate, so the policy converges within a test-sized
+        # number of transitions (the paper trains on months of minutes).
+        return DQNConfig(
+            hidden_width=12,
+            n_hidden_layers=8,
+            learning_rate=0.01,
+            memory_capacity=300,
+            epsilon_start=1.0,
+            epsilon_end=0.05,
+            epsilon_decay_steps=400,
+            batch_size=16,
+            target_replace_iter=50,
+        )
+
+    def test_act_returns_valid_action(self, config):
+        agent = DQNAgent(config, seed=0)
+        a = agent.act(np.zeros(STATE_DIM))
+        assert a in (0, 1, 2)
+
+    def test_learn_step_waits_for_batch(self, config):
+        agent = DQNAgent(config, seed=0)
+        out = agent.observe(np.zeros(STATE_DIM), 0, 1.0, np.zeros(STATE_DIM), False)
+        assert out is None  # replay too small
+
+    def test_target_sync_period(self, config):
+        agent = DQNAgent(config, seed=0)
+        for _ in range(config.batch_size):
+            agent.replay.push(np.zeros(STATE_DIM), 0, 1.0, np.zeros(STATE_DIM), False)
+        for _ in range(config.target_replace_iter - 1):
+            agent.learn_step()
+        from repro.nn.serialization import get_weights, weights_allclose
+
+        assert not weights_allclose(get_weights(agent.qnet), get_weights(agent.target))
+        agent.learn_step()  # hits the replace iteration
+        assert weights_allclose(get_weights(agent.qnet), get_weights(agent.target))
+
+    def test_learns_standby_kill_policy(self, config):
+        """The agent must discover off-for-standby / on-for-on within a
+        few hundred transitions — the core of the paper's EMS."""
+        agent = DQNAgent(config, seed=1)
+        rng = np.random.default_rng(2)
+        for episode in range(60):
+            n = 10
+            sb_mask = rng.random(n) < 0.5
+            real = np.where(sb_mask, 0.1, 1.0)
+            mode = np.where(sb_mask, 1, 2).astype(np.int8)
+            env = DeviceEnv(real.copy(), real, 1.0, 0.1, ground_truth_mode=mode)
+            agent.run_episode(env, learn=True)
+        # Greedy policy check on clean states:
+        sb_state = build_state(0.1, 0.1, 1.0)
+        on_state = build_state(1.0, 1.0, 1.0)
+        assert agent.act(sb_state, greedy=True) == 0
+        assert agent.act(on_state, greedy=True) == 2
+
+    def test_federation_hooks(self, config):
+        agent = DQNAgent(config, seed=0)
+        groups = agent.hidden_layer_groups()
+        assert len(groups) == config.n_hidden_layers + 1
+        w = agent.get_weights()
+        other = DQNAgent(config, seed=99)
+        other.set_weights(w)
+        x = np.random.default_rng(0).normal(size=(4, STATE_DIM))
+        assert np.allclose(agent.qnet.forward(x), other.qnet.forward(x))
+
+    def test_evaluate_episode_is_greedy_and_nonlearning(self, config):
+        agent = DQNAgent(config, seed=0)
+        env = make_env(6)
+        steps_before = agent.sgd_steps
+        r, controlled = agent.evaluate_episode(env)
+        assert agent.sgd_steps == steps_before
+        assert controlled.shape == (6,)
+        assert np.all(np.isfinite(controlled))

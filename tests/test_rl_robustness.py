@@ -1,0 +1,78 @@
+"""Robustness tests for the RL stack under degraded inputs."""
+
+import numpy as np
+import pytest
+
+from repro.config import DQNConfig
+from repro.rl import DeviceEnv, DQNAgent, build_states
+from repro.rl.modes import classify_modes
+
+
+def tiny_config():
+    return DQNConfig(
+        hidden_width=8, learning_rate=0.01, batch_size=8,
+        memory_capacity=100, epsilon_decay_steps=100, reward_scale=1 / 30,
+    )
+
+
+class TestDegradedStreams:
+    def test_env_with_spiky_readings(self):
+        """Corrupted (spiked) readings yield finite states and rewards."""
+        real = np.asarray([0.01, 50.0, 0.01, 0.12])
+        env = DeviceEnv(real.copy(), real, 0.12, 0.01, device="tv")
+        s = env.reset()
+        assert np.all(np.isfinite(s))
+        total = 0.0
+        done = False
+        while not done:
+            step = env.step(1)
+            total += step.reward
+            done = step.done
+        assert np.isfinite(total)
+
+    def test_env_with_all_zero_stream(self):
+        """Dead sensor: the env classifies everything off and runs."""
+        real = np.zeros(5)
+        env = DeviceEnv(real.copy(), real, 0.12, 0.01)
+        assert np.all(env.ground_truth_mode == 0)
+        env.reset()
+        step = env.step(0)
+        assert step.reward == 10.0  # off action on off truth
+
+    def test_wrong_forecast_direction(self):
+        """Forecast says ON while reality is standby: the state reflects
+        both channels so the agent can learn to trust the real-time one."""
+        pred = np.full(4, 0.12)
+        real = np.full(4, 0.01)
+        states = build_states(pred, real, 0.12, 0.01, device="tv")
+        assert states[0, 0] > states[0, 1]  # pred channel reads higher
+
+    def test_agent_on_nan_free_guarantee(self):
+        """Long training on random streams keeps weights finite."""
+        agent = DQNAgent(tiny_config(), seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            real = rng.uniform(0, 3, size=8)
+            env = DeviceEnv(real.copy(), real, 1.0, 0.05, device="hvac")
+            agent.run_episode(env, learn=True)
+        for w in agent.get_weights():
+            assert np.all(np.isfinite(w))
+
+
+class TestClassifierEdges:
+    def test_huge_reading_resolves_on(self):
+        assert classify_modes(np.asarray([999.0]), 1.0, 0.1)[0] == 2
+
+    def test_between_bands_log_nearest(self):
+        # Geometric midpoint of 0.1 and 1.0 is ~0.316.
+        assert classify_modes(np.asarray([0.3]), 1.0, 0.1)[0] == 1
+        assert classify_modes(np.asarray([0.35]), 1.0, 0.1)[0] == 2
+
+    def test_tiny_nonzero_resolves_off_or_standby(self):
+        m = classify_modes(np.asarray([1e-8]), 1.0, 0.1)[0]
+        assert m in (0, 1)
+
+    def test_vector_with_all_bands(self):
+        vals = np.asarray([0.0, 0.095, 1.02, 0.5])
+        modes = classify_modes(vals, 1.0, 0.1)
+        assert list(modes[:3]) == [0, 1, 2]
