@@ -1,0 +1,39 @@
+"""Robustness sweep — the fabric degrades gracefully under faults.
+
+Beyond the paper: drop rate x churn over the fault-injected transport.
+Shape claims: no run crashes or silently diverges (every point finite and
+within a bounded band of the clean accuracy — the quorum gate falls back
+to local training instead of averaging garbage), and the fault fabric is
+observable (retransmissions, drops and skipped quorum rounds all counted).
+"""
+
+import numpy as np
+
+from repro.experiments import robustness
+
+
+def test_robustness_degrades_gracefully(benchmark, once):
+    result = once(benchmark, robustness.run)
+    print("\n" + result.to_text())
+
+    clean = result.notes["accuracy_clean"]
+    for label, series in result.series.items():
+        y = np.asarray(series.y, dtype=float)
+        assert np.all(np.isfinite(y)), f"{label} has non-finite points"
+        if label.startswith("accuracy"):
+            # Graceful degradation: bounded deviation from the clean run,
+            # never a collapse (monotone within noise).
+            assert np.all(y >= clean - 0.15), f"{label} collapsed: {y}"
+            assert np.all(y <= clean + 0.15), f"{label} diverged: {y}"
+        else:
+            assert np.all(y >= 0.0) and np.all(y <= 1.0)
+
+    # The fault fabric is observable, not silent: the harshest setting
+    # (50% drop + churn) must have counted retries, losses and skips.
+    assert result.notes["n_retransmits"] > 0
+    assert result.notes["n_dropped"] > 0
+    assert result.notes["n_quorum_skips"] > 0
+
+    # The staleness sweep ran at every horizon and stayed finite.
+    for horizon in robustness.STALENESS_HORIZONS:
+        assert np.isfinite(result.notes[f"acc_horizon_{horizon}"])

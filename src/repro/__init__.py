@@ -18,6 +18,7 @@ Subpackages
 from repro.config import (
     DataConfig,
     DQNConfig,
+    FaultConfig,
     FederationConfig,
     ForecastConfig,
     PFDRLConfig,
@@ -30,6 +31,7 @@ __all__ = [
     "ForecastConfig",
     "DQNConfig",
     "FederationConfig",
+    "FaultConfig",
     "PFDRLConfig",
     "__version__",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "ForecastConfig",
     "DQNConfig",
     "FederationConfig",
+    "FaultConfig",
     "PFDRLConfig",
     "ExperimentConfig",
     "config_to_dict",
@@ -207,6 +208,93 @@ class FederationConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Communication-fault model for the federated fabric.
+
+    All rates default to zero: the default config is the paper's perfectly
+    reliable residential LAN, and every trainer path is bit-identical to
+    the fault-free implementation.  Faults apply to the *decentralized*
+    sharing paths (DFL broadcast rounds and the γ-round DRL mesh); the
+    centralized baselines keep the ideal link.
+
+    Failure taxonomy (see DESIGN.md "Fault model"):
+
+    - **loss** — each delivery is dropped i.i.d. with ``drop_rate``; the
+      sender retransmits up to ``max_retries`` times (retries are counted
+      in ``TransportStats.n_retransmits`` so overhead numbers stay honest).
+    - **corruption** — with ``corrupt_rate`` a delivered payload is
+      damaged (NaN injection or truncation); receivers validate and
+      quarantine it before averaging.
+    - **delay** — with ``delay_rate`` a delivery lands 1..``max_delay_rounds``
+      broadcast events late; staleness-aware aggregation discounts old
+      payloads by ``staleness_decay`` per round and rejects anything older
+      than ``staleness_horizon`` rounds.
+    - **churn** — online agents crash with per-round ``crash_rate`` and
+      recover with ``recovery_rate``; ``crashed_agents`` are down for the
+      whole run.  A crashed agent is *offline from the fabric* (neither
+      sends nor receives) but keeps training locally.
+    - **stragglers** — a ``straggler_fraction`` of agents (seeded choice)
+      sit out each broadcast round with ``straggler_skip_prob``.
+    - **quorum** — a receiver only aggregates when it heard valid payloads
+      from at least ``quorum_fraction`` of its topology neighbours;
+      otherwise it continues locally and the skip is counted.
+    """
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay_rounds: int = 2
+    crash_rate: float = 0.0
+    recovery_rate: float = 0.5
+    crashed_agents: tuple[int, ...] = ()
+    straggler_fraction: float = 0.0
+    straggler_skip_prob: float = 0.5
+    max_retries: int = 2
+    staleness_horizon: int = 2
+    staleness_decay: float = 0.5
+    quorum_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "delay_rate", "crash_rate",
+                     "recovery_rate", "straggler_fraction", "straggler_skip_prob",
+                     "quorum_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.drop_rate >= 1.0:
+            raise ValueError("drop_rate must be < 1 (retransmission must be able to succeed)")
+        if self.max_delay_rounds < 1:
+            raise ValueError("max_delay_rounds must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.staleness_horizon < 0:
+            raise ValueError("staleness_horizon must be >= 0")
+        if not 0.0 < self.staleness_decay <= 1.0:
+            raise ValueError("staleness_decay must be in (0, 1]")
+        if any(a < 0 for a in self.crashed_agents):
+            raise ValueError("crashed_agents must be non-negative ids")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault mechanism can change behaviour.
+
+        With ``active == False`` the trainers use the plain
+        :class:`~repro.federated.transport.MessageBus` — the zero-fault
+        path is the original, bit-identical implementation.
+        """
+        return bool(
+            self.drop_rate > 0
+            or self.corrupt_rate > 0
+            or self.delay_rate > 0
+            or self.crash_rate > 0
+            or self.crashed_agents
+            or self.straggler_fraction > 0
+            or self.quorum_fraction > 0
+        )
+
+
+@dataclass(frozen=True)
 class PFDRLConfig:
     """Top-level configuration bundling all subsystems."""
 
@@ -214,6 +302,7 @@ class PFDRLConfig:
     forecast: ForecastConfig = field(default_factory=ForecastConfig)
     dqn: DQNConfig = field(default_factory=DQNConfig)
     federation: FederationConfig = field(default_factory=FederationConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: DRL training episodes per device before evaluation.
     episodes: int = 3
     seed: int = 0

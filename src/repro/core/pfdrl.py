@@ -23,13 +23,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import DQNConfig, FederationConfig
+from repro.config import DQNConfig, FaultConfig, FederationConfig
 from repro.core.personalization import PersonalizationManager
 from repro.core.streams import ResidenceStream
+from repro.federated.faults import FaultyBus, ReceiveFilter, make_bus
 from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.server import CentralServer
 from repro.federated.topology import make_topology
-from repro.federated.transport import MessageBus
 from repro.metrics.energy import saved_energy_kwh, standby_energy_kwh
 from repro.rl.dqn import DQNAgent
 from repro.rl.env import DeviceEnv
@@ -50,6 +50,9 @@ class PFDRLDayResult:
     n_broadcast_events: int
     params_broadcast: int
     sgd_steps: int
+    #: Cumulative γ-round aggregations skipped for lack of quorum
+    #: (0 on a reliable fabric).
+    n_quorum_skipped: int = 0
 
 
 @dataclass
@@ -105,6 +108,7 @@ class PFDRLTrainer:
         sharing: str = "personalized",
         agent_scope: str = "residence",
         seed: int = 0,
+        fault_config: FaultConfig | None = None,
     ) -> None:
         if sharing not in SHARING_MODES:
             raise ValueError(f"sharing must be one of {SHARING_MODES}")
@@ -175,7 +179,14 @@ class PFDRLTrainer:
         self.topology = make_topology(
             "star" if sharing == "full" else self.federation_config.topology, n
         )
-        self.bus = MessageBus(self.topology)
+        # Faults model the decentralized mesh (the γ-round broadcast
+        # path); the centralized FRL baseline keeps the ideal uplink.
+        self.fault_config = (
+            fault_config
+            if (fault_config is not None and fault_config.active and sharing == "personalized")
+            else None
+        )
+        self.bus = make_bus(self.topology, self.fault_config)
         self.server = CentralServer() if sharing == "full" else None
         self.scheduler = BroadcastScheduler(
             self.federation_config.gamma_hours, self.minutes_per_day
@@ -245,6 +256,7 @@ class PFDRLTrainer:
             n_broadcast_events=n_events,
             params_broadcast=self._params_broadcast,
             sgd_steps=sum(a.sgd_steps for a in self.agents) - sgd_before,
+            n_quorum_skipped=self.bus.stats.n_quorum_skips,
         )
 
     def run(self, n_days: int) -> list[PFDRLDayResult]:
@@ -284,6 +296,9 @@ class PFDRLTrainer:
                     2 * len(group)
                 )
             return
+        if self.fault_config is not None:
+            self._faulty_share_round()
+            return
         # Personalized decentralized sharing: α base layers over the mesh.
         # One shared-medium transmission per agent per event (the LAN
         # broadcast reaches all neighbours at once); device-scope agents
@@ -300,6 +315,43 @@ class PFDRLTrainer:
                     list(m.payload) for m in self.bus.collect(key[0], tag=tag)
                 ]
                 self._managers[key].apply_aggregation(received)
+
+    def _faulty_share_round(self) -> None:
+        """γ-round sharing over the fault-injected mesh.
+
+        Mirrors :meth:`repro.federated.dfl.DFLTrainer._faulty_round`:
+        crashed agents are off the air, stragglers sit out, receivers
+        quarantine corrupted base layers, discount stale ones, and only
+        merge when the neighbour quorum was heard — otherwise the agent
+        keeps its local model for this round (counted, not silent).
+        """
+        bus = self.bus
+        assert isinstance(bus, FaultyBus)
+        faults = self.fault_config
+        for group in self._share_groups:
+            slot = group[0][1]
+            tag = f"drl-base/{slot}"
+            for key in group:
+                if not bus.sends_this_round(key[0]):
+                    continue
+                payload = self._managers[key].base_weights()
+                bus.broadcast(key[0], payload, tag=tag)
+                self._params_broadcast += sum(int(w.size) for w in payload)
+            for key in group:
+                rid = key[0]
+                if not bus.is_online(rid):
+                    continue
+                manager = self._managers[key]
+                recv = ReceiveFilter(
+                    bus, faults, manager.base_weights(),
+                    len(self.topology.neighbors(rid)),
+                ).admit(bus.collect(rid, tag=tag))
+                if not recv.accept():
+                    continue
+                manager.apply_aggregation(
+                    recv.payloads, client_weights=recv.client_weights()
+                )
+        bus.advance_round()
 
     # ------------------------------------------------------------------
     def evaluate(self, eval_streams: list[ResidenceStream] | None = None) -> EMSEvaluation:

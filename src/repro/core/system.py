@@ -93,6 +93,7 @@ class PFDRLSystem:
             federation_config=self.config.federation,
             mode=self.forecast_mode,
             seed=self.config.seed,
+            fault_config=self.config.faults,
         )
         return self.dfl.run(self.n_train_days)
 
@@ -107,6 +108,7 @@ class PFDRLSystem:
             federation_config=self.config.federation,
             sharing=self.sharing,
             seed=self.config.seed,
+            fault_config=self.config.faults,
         )
         history: list[PFDRLDayResult] = []
         for _ in range(max(1, self.config.episodes)):

@@ -23,6 +23,7 @@ Module               Paper artefact
 ``table01_reward``   Table 1 — reward function
 ``table02_methods``  Table 2 — method feature matrix
 ``headline``         92% accuracy / 98% standby savings claims
+``robustness``       beyond the paper — degradation under comm faults
 ``ablations``        extra design-choice studies (topology, DQN, features)
 ===================  =============================================
 """

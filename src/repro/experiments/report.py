@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13_forecast_time,
     fig14_ems_time,
     headline,
+    robustness,
     table01_reward,
     table02_methods,
 )
@@ -53,6 +54,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table01_reward": table01_reward.run,
     "table02_methods": table02_methods.run,
     "headline": headline.run,
+    "robustness": robustness.run,
     "ablation_topology": ablations.run_topology,
     "ablation_dqn": ablations.run_dqn,
     "ablation_features": ablations.run_features,

@@ -12,6 +12,9 @@
   forecasting.
 - :mod:`repro.federated.server` — the centralized cloud aggregator used
   by the FL/FRL baselines (Table 2).
+- :mod:`repro.federated.faults` — seeded fault injection (loss, delay,
+  corruption, churn, stragglers) and the receiver-side validation /
+  staleness / quorum policies that make the fabric survive it.
 """
 
 from repro.federated.topology import Topology, make_topology
@@ -20,7 +23,9 @@ from repro.federated.aggregation import (
     aggregate_full,
     aggregate_partial,
     split_base_personal,
+    staleness_weights,
 )
+from repro.federated.faults import FaultyBus, ReceiveFilter, make_bus, payload_matches
 from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.dfl import DFLClient, DFLTrainer, DFLRoundResult
 from repro.federated.server import CentralServer
@@ -34,6 +39,11 @@ __all__ = [
     "aggregate_full",
     "aggregate_partial",
     "split_base_personal",
+    "staleness_weights",
+    "FaultyBus",
+    "ReceiveFilter",
+    "make_bus",
+    "payload_matches",
     "BroadcastScheduler",
     "DFLClient",
     "DFLTrainer",

@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.nn.serialization import average_weights
 
-__all__ = ["aggregate_full", "aggregate_partial", "split_base_personal", "base_param_count"]
+__all__ = [
+    "aggregate_full",
+    "aggregate_partial",
+    "split_base_personal",
+    "base_param_count",
+    "staleness_weights",
+]
 
 Weights = list[np.ndarray]
 
@@ -27,6 +33,28 @@ def aggregate_full(
 ) -> Weights:
     """FedAvg including the local model: mean over {local} ∪ received."""
     return average_weights([list(local), *map(list, received)], client_weights)
+
+
+def staleness_weights(
+    ages: Sequence[int], horizon: int, decay: float = 0.5
+) -> np.ndarray:
+    """Staleness-aware client weights: ``decay**age``, zero past *horizon*.
+
+    ``ages[k]`` is how many broadcast rounds old peer *k*'s payload is
+    (0 = sent this round).  A fresh payload keeps full weight, delayed
+    payloads are geometrically discounted, and anything older than
+    *horizon* rounds is rejected outright (weight 0) — stale gradients
+    must not drag the average backwards.  With all ages zero this is the
+    uniform FedAvg mean, bit-identical to the reliable-link path.
+    """
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    if not 0.0 < decay <= 1.0:
+        raise ValueError("decay must be in (0, 1]")
+    ages_arr = np.asarray(ages, dtype=np.int64)
+    if np.any(ages_arr < 0):
+        raise ValueError("ages must be >= 0")
+    return np.where(ages_arr <= horizon, np.power(decay, ages_arr), 0.0)
 
 
 def split_base_personal(

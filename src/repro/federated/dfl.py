@@ -31,11 +31,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import FederationConfig, ForecastConfig
+from repro.config import FaultConfig, FederationConfig, ForecastConfig
 from repro.data.dataset import NeighborhoodDataset
+from repro.federated.faults import FaultyBus, ReceiveFilter, make_bus
 from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.topology import make_topology
-from repro.federated.transport import MessageBus
 from repro.forecast import Forecaster, make_forecaster, make_windows, normalize_power
 from repro.forecast.features import augment_time_features
 from repro.metrics.accuracy import horizon_energy_accuracy
@@ -178,6 +178,10 @@ class DFLRoundResult:
     n_messages: int
     n_params_sent: int
     per_device_loss: dict[str, float] = field(default_factory=dict)
+    #: Cumulative fault-fabric observability (0 on a reliable link):
+    #: aggregations skipped for lack of quorum and link-level retries.
+    n_quorum_skipped: int = 0
+    n_retransmits: int = 0
 
 
 class DFLTrainer:
@@ -200,6 +204,14 @@ class DFLTrainer:
         decentralized-mode payloads pass through a compress/decompress
         round trip (simulating the wire) and ``compressed_bytes`` tracks
         the actual bytes transmitted.
+    fault_config:
+        Optional communication-fault model (``repro.config.FaultConfig``).
+        Active faults apply to the decentralized broadcast path: lossy
+        links with bounded retransmission, corruption (quarantined before
+        averaging), delayed deliveries (staleness-discounted, rejected
+        past the horizon), churn/stragglers, and quorum-gated rounds.
+        ``None`` or an all-zero config keeps the original reliable bus,
+        bit-identical to the fault-free implementation.
     """
 
     def __init__(
@@ -211,6 +223,7 @@ class DFLTrainer:
         seed: int = 0,
         n_workers: int = 1,
         compressor=None,
+        fault_config: FaultConfig | None = None,
     ) -> None:
         if mode not in ("decentralized", "centralized", "local", "cloud"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -238,7 +251,14 @@ class DFLTrainer:
             "star" if mode in ("centralized", "cloud") else self.federation_config.topology
         )
         self.topology = make_topology(topo_name if mode != "local" else "full", n)
-        self.bus = MessageBus(self.topology)
+        # Faults model the residential mesh; the centralized/cloud
+        # baselines keep the paper's ideal uplink.
+        self.fault_config = (
+            fault_config
+            if (fault_config is not None and fault_config.active and mode == "decentralized")
+            else None
+        )
+        self.bus = make_bus(self.topology, self.fault_config)
         self.scheduler = BroadcastScheduler(
             self.federation_config.beta_hours, dataset.minutes_per_day
         )
@@ -297,6 +317,8 @@ class DFLTrainer:
             n_messages=self.bus.stats.n_messages,
             n_params_sent=self.bus.stats.n_params,
             per_device_loss=per_device,
+            n_quorum_skipped=self.bus.stats.n_quorum_skips,
+            n_retransmits=self.bus.stats.n_retransmits,
         )
 
     def run(self, n_days: int) -> list[DFLRoundResult]:
@@ -378,6 +400,9 @@ class DFLTrainer:
         if self.mode == "centralized":
             self._central_round()
             return
+        if self.fault_config is not None:
+            self._faulty_round()
+            return
         # Decentralized: everyone broadcasts, then everyone aggregates the
         # models it received per device type together with its own.
         for client in self.clients:
@@ -398,6 +423,47 @@ class DFLTrainer:
                     continue
                 merged = average_weights([client.get_weights(device), *received])
                 client.set_weights(device, merged)
+
+    def _faulty_round(self) -> None:
+        """Decentralized round over the fault-injected fabric.
+
+        Crashed agents are off the air; stragglers skip sending this
+        round (they still listen).  Receivers quarantine corrupted
+        payloads, discount/reject stale ones, and only aggregate when the
+        quorum of expected neighbours was heard — otherwise they continue
+        on their local model and the skip is counted.
+        """
+        bus = self.bus
+        assert isinstance(bus, FaultyBus)
+        faults = self.fault_config
+        for client in self.clients:
+            if not bus.sends_this_round(client.residence_id):
+                continue
+            for device in client.device_types:
+                payload = client.get_weights(device)
+                if self.compressor is not None:
+                    wire = self.compressor.compress(payload)
+                    self.compressed_bytes += wire.nbytes
+                    payload = self.compressor.decompress(wire)
+                bus.broadcast(client.residence_id, payload, tag=f"fc/{device}")
+        for client in self.clients:
+            rid = client.residence_id
+            if not bus.is_online(rid):
+                continue  # an offline agent aggregates nothing
+            n_expected = len(self.topology.neighbors(rid))
+            for device in client.device_types:
+                local = client.get_weights(device)
+                recv = ReceiveFilter(bus, faults, local, n_expected).admit(
+                    bus.collect(rid, tag=f"fc/{device}")
+                )
+                if not recv.accept():
+                    continue
+                merged = average_weights(
+                    [local, *recv.payloads],
+                    client_weights=recv.client_weights(),
+                )
+                client.set_weights(device, merged)
+        bus.advance_round()
 
     def _central_round(self) -> None:
         """Classic FedAvg through agent 0 acting as the cloud hub."""

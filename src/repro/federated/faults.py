@@ -1,0 +1,292 @@
+"""Fault injection for the federated fabric.
+
+The paper measures everything over a perfectly reliable residential LAN;
+real decentralized deployments face packet loss, offline residences,
+late deliveries and stragglers.  :class:`FaultyBus` is a drop-in
+:class:`~repro.federated.transport.MessageBus` that injects a seeded,
+deterministic fault process described by a
+:class:`~repro.config.FaultConfig`:
+
+- per-link message **drops** with bounded **retransmission** (retries and
+  final losses are counted in ``TransportStats`` so communication-
+  overhead numbers stay honest);
+- payload **corruption** (NaN injection or truncation — receivers must
+  validate; see :func:`payload_matches`);
+- **delayed** deliveries that land 1..k broadcast rounds late (the bus
+  holds them and releases them at ``advance_round``);
+- agent **churn** (crash/recovery schedules, plus permanently crashed
+  agents) and **stragglers** that sit out broadcast rounds.
+
+Every random decision comes from one private generator seeded from
+``FaultConfig.seed``, independent of the model/data RNG streams: the same
+fault seed replays the identical fault schedule, and fault injection
+never perturbs training randomness.
+
+The receiver-side policies (validation, staleness, quorum) live with the
+consumers — :meth:`repro.federated.dfl.DFLTrainer._broadcast_and_aggregate`
+and the γ-round path of :class:`repro.core.pfdrl.PFDRLTrainer` — built on
+the helpers here and the staleness weighting in
+:mod:`repro.federated.aggregation`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import FaultConfig
+from repro.federated.aggregation import staleness_weights
+from repro.federated.topology import Topology
+from repro.federated.transport import Message, MessageBus
+from repro.rng import hash_seed
+
+__all__ = ["FaultyBus", "make_bus", "payload_matches", "ReceiveFilter"]
+
+
+def make_bus(topology: Topology, faults: FaultConfig | None) -> MessageBus:
+    """A transport for *topology*: plain bus unless faults are active.
+
+    Keeping the plain :class:`MessageBus` for inactive configs guarantees
+    the zero-fault path is bit-identical to the original implementation.
+    """
+    if faults is not None and faults.active:
+        return FaultyBus(topology, faults)
+    return MessageBus(topology)
+
+
+def payload_matches(
+    payload: Sequence[np.ndarray], reference: Sequence[np.ndarray]
+) -> bool:
+    """Defensive check: *payload* has the reference shapes and is finite.
+
+    The first line of defense against corrupted messages — a payload that
+    fails this must never reach :func:`~repro.nn.serialization.average_weights`.
+    """
+    if len(payload) != len(reference):
+        return False
+    for arr, ref in zip(payload, reference):
+        arr = np.asarray(arr)
+        if arr.shape != np.asarray(ref).shape:
+            return False
+        if not np.issubdtype(arr.dtype, np.number):
+            return False
+        if not np.all(np.isfinite(arr)):
+            return False
+    return True
+
+
+class FaultyBus(MessageBus):
+    """A :class:`MessageBus` with a seeded fault process on every link.
+
+    The interface is unchanged; additionally the bus tracks per-agent
+    liveness (:meth:`is_online`), per-round straggler decisions
+    (:meth:`sends_this_round`), and releases delayed messages when the
+    trainer calls :meth:`advance_round` after each broadcast event.
+    """
+
+    def __init__(self, topology: Topology, faults: FaultConfig) -> None:
+        super().__init__(topology)
+        self.faults = faults
+        self._rng = np.random.default_rng(hash_seed(faults.seed, "faulty-bus"))
+        n = topology.n_agents
+        self._permanently_down = {a for a in faults.crashed_agents if a < n}
+        self._online = [a not in self._permanently_down for a in range(n)]
+        n_stragglers = int(round(faults.straggler_fraction * n))
+        if n_stragglers:
+            self._stragglers = set(
+                self._rng.choice(n, size=n_stragglers, replace=False).tolist()
+            )
+        else:
+            self._stragglers = set()
+        #: delivery round -> messages held back by the delay process.
+        self._delayed: dict[int, list[Message]] = {}
+        self._sitting_out: set[int] = set()
+        self._draw_straggler_round()
+
+    # ------------------------------------------------------------------
+    # liveness / stragglers
+    def is_online(self, agent: int) -> bool:
+        """Whether *agent* is currently connected to the fabric."""
+        return self._online[agent]
+
+    def online_agents(self) -> list[int]:
+        return [a for a, up in enumerate(self._online) if up]
+
+    def sends_this_round(self, agent: int) -> bool:
+        """Online and not a straggler sitting out this broadcast round."""
+        return self._online[agent] and agent not in self._sitting_out
+
+    def _draw_straggler_round(self) -> None:
+        self._sitting_out = {
+            a
+            for a in sorted(self._stragglers)
+            if self._rng.random() < self.faults.straggler_skip_prob
+        }
+
+    def _apply_churn(self) -> None:
+        f = self.faults
+        if f.crash_rate <= 0 and not any(
+            not up and a not in self._permanently_down
+            for a, up in enumerate(self._online)
+        ):
+            return
+        for a in range(self.topology.n_agents):
+            if a in self._permanently_down:
+                continue
+            if self._online[a]:
+                if f.crash_rate > 0 and self._rng.random() < f.crash_rate:
+                    self._online[a] = False
+                    # A crashing agent loses its unread mailbox.
+                    self.stats.n_dropped += len(self._mailboxes[a])
+                    self._mailboxes[a] = []
+            elif self._rng.random() < f.recovery_rate:
+                self._online[a] = True
+
+    # ------------------------------------------------------------------
+    # transport overrides
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Sequence[np.ndarray],
+        tag: str = "",
+        _count_tx: bool = True,
+    ) -> None:
+        msg = self._make_message(src, dst, payload, tag)
+        f = self.faults
+        if not self._online[src]:
+            return  # a crashed sender transmits nothing
+        if not self._online[dst]:
+            self.stats.n_dropped += 1
+            return
+        # Lossy link with bounded ack/retransmit: each failed attempt is
+        # retried up to max_retries times; every retry is a real (re-)
+        # transmission, charged to n_tx_params on top of n_retransmits.
+        attempts = 0
+        delivered_ok = True
+        while f.drop_rate > 0 and self._rng.random() < f.drop_rate:
+            if attempts >= f.max_retries:
+                delivered_ok = False
+                break
+            attempts += 1
+        if attempts:
+            self.stats.n_retransmits += attempts
+            self.stats.n_tx_params += attempts * msg.n_params
+        if not delivered_ok:
+            self.stats.n_dropped += 1
+            return
+        if f.corrupt_rate > 0 and self._rng.random() < f.corrupt_rate:
+            msg = Message(
+                src=msg.src,
+                dst=msg.dst,
+                tag=msg.tag,
+                payload=self._corrupt(msg.payload),
+                round=msg.round,
+            )
+            self.stats.n_corrupted += 1
+        if f.delay_rate > 0 and self._rng.random() < f.delay_rate:
+            lag = 1 + int(self._rng.integers(f.max_delay_rounds))
+            self._delayed.setdefault(self.round + lag, []).append(msg)
+            self.stats.n_delayed += 1
+            # The transmission happened now even though delivery is late.
+            if _count_tx:
+                self.stats.n_tx_params += msg.n_params
+            return
+        self._deliver(msg, count_tx=_count_tx)
+
+    def _corrupt(self, payload: tuple[np.ndarray, ...]) -> tuple[np.ndarray, ...]:
+        """Damage a payload so that it is *detectably* invalid.
+
+        Two failure shapes seen on real links: bit rot inside an array
+        (modelled as NaN poisoning) and a truncated frame (an array loses
+        its tail, changing its shape).
+        """
+        arrays = [a.copy() for a in payload]
+        idx = int(self._rng.integers(len(arrays)))
+        victim = arrays[idx]
+        if self._rng.random() < 0.5 or victim.size <= 1:
+            flat = victim.reshape(-1)
+            k = max(1, flat.size // 8)
+            flat[self._rng.integers(flat.size, size=k)] = np.nan
+        else:
+            arrays[idx] = victim.reshape(-1)[: victim.size - 1]
+        return tuple(arrays)
+
+    def advance_round(self) -> None:
+        """Round boundary: apply churn, then release due delayed messages.
+
+        Churn first: an agent that goes down during the round misses the
+        late deliveries landing at its boundary.
+        """
+        super().advance_round()
+        self._apply_churn()
+        for msg in self._delayed.pop(self.round, []):
+            if self._online[msg.dst]:
+                # tx was charged at send time; delivery counters now.
+                self._deliver(msg, count_tx=False)
+            else:
+                self.stats.n_dropped += 1
+        self._draw_straggler_round()
+
+
+class ReceiveFilter:
+    """Receiver-side policy: validate, age-gate and quorum-gate payloads.
+
+    One instance per (agent, aggregation round).  Feed it the collected
+    messages via :meth:`admit`; it quarantines corrupted payloads,
+    rejects payloads older than the staleness horizon, and computes the
+    staleness-discounted client weights for the survivors.  ``accept``
+    then answers the quorum question.  All rejections are tallied on the
+    shared :class:`~repro.federated.transport.TransportStats`.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        faults: FaultConfig,
+        reference: Sequence[np.ndarray],
+        n_expected: int,
+    ) -> None:
+        self.bus = bus
+        self.faults = faults
+        self.reference = reference
+        self.n_expected = int(n_expected)
+        self.payloads: list[list[np.ndarray]] = []
+        self.ages: list[int] = []
+
+    def admit(self, messages: Sequence[Message]) -> "ReceiveFilter":
+        for msg in messages:
+            if not payload_matches(msg.payload, self.reference):
+                self.bus.stats.n_quarantined += 1
+                continue
+            age = max(0, self.bus.round - msg.round)
+            if age > self.faults.staleness_horizon:
+                self.bus.stats.n_stale_rejected += 1
+                continue
+            self.payloads.append(list(msg.payload))
+            self.ages.append(age)
+        return self
+
+    def accept(self) -> bool:
+        """Quorum check: heard from enough neighbours to aggregate?
+
+        Counts a quorum skip on the shared stats when the round is
+        gated, so call exactly once per (agent, device, round).
+        """
+        needed = self.faults.quorum_fraction * self.n_expected
+        if not self.payloads:
+            if needed > 0:
+                self.bus.stats.n_quorum_skips += 1
+            return False
+        if len(self.payloads) < needed:
+            self.bus.stats.n_quorum_skips += 1
+            return False
+        return True
+
+    def client_weights(self, n_local: int = 1) -> np.ndarray:
+        """Staleness-discounted weights for [local x n_local, *payloads]."""
+        discounts = staleness_weights(
+            self.ages, self.faults.staleness_horizon, self.faults.staleness_decay
+        )
+        return np.concatenate([np.ones(n_local), discounts])

@@ -25,12 +25,18 @@ BYTES_PER_PARAM = 8  # float64 on the wire
 
 @dataclass(frozen=True)
 class Message:
-    """One delivered parameter payload."""
+    """One delivered parameter payload.
+
+    ``round`` stamps the broadcast round the payload was *sent* in
+    (``bus.round`` at send time) so receivers can age-gate stale weights;
+    the fault-free bus never advances the counter, so it stays 0 there.
+    """
 
     src: int
     dst: int
     tag: str
     payload: tuple[np.ndarray, ...]
+    round: int = 0
 
     @property
     def n_params(self) -> int:
@@ -58,6 +64,18 @@ class TransportStats:
     n_tx_params: int = 0
     per_agent_sent: dict[int, int] = field(default_factory=dict)
     per_tag_params: dict[str, int] = field(default_factory=dict)
+    #: Fault-fabric counters (all stay 0 on a reliable link) — retries
+    #: after a lost delivery, deliveries lost for good, deliveries that
+    #: arrived late, payloads corrupted in flight, receiver-side
+    #: quarantines (corruption detected), stale payloads rejected by the
+    #: aggregation horizon, and aggregation rounds skipped for quorum.
+    n_retransmits: int = 0
+    n_dropped: int = 0
+    n_delayed: int = 0
+    n_corrupted: int = 0
+    n_quarantined: int = 0
+    n_stale_rejected: int = 0
+    n_quorum_skips: int = 0
 
     def record(self, msg: Message, count_tx: bool = True) -> None:
         self.n_messages += 1
@@ -80,6 +98,9 @@ class MessageBus:
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self.stats = TransportStats()
+        #: Broadcast-round counter: advanced by the trainers after every
+        #: broadcast event; stamps outgoing messages for staleness checks.
+        self.round = 0
         self._mailboxes: dict[int, list[Message]] = {
             a: [] for a in range(topology.n_agents)
         }
@@ -94,29 +115,49 @@ class MessageBus:
         _count_tx: bool = True,
     ) -> None:
         """Point-to-point delivery (must follow a topology edge)."""
+        msg = self._make_message(src, dst, payload, tag)
+        self._deliver(msg, count_tx=_count_tx)
+
+    def _make_message(
+        self, src: int, dst: int, payload: Sequence[np.ndarray], tag: str
+    ) -> Message:
+        """Validate endpoints and deep-copy the payload into a Message."""
         if dst not in self._mailboxes:
             raise KeyError(f"unknown agent {dst}")
         if dst not in self.topology.neighbors(src):
             raise ValueError(f"no link {src} -> {dst} in topology {self.topology.name!r}")
-        msg = Message(
+        return Message(
             src=src,
             dst=dst,
             tag=tag,
             payload=tuple(np.array(a, dtype=np.float64, copy=True) for a in payload),
+            round=self.round,
         )
-        self._mailboxes[dst].append(msg)
-        self.stats.record(msg, count_tx=_count_tx)
+
+    def _deliver(self, msg: Message, count_tx: bool = True) -> None:
+        """Place *msg* in its destination mailbox and account for it."""
+        self._mailboxes[msg.dst].append(msg)
+        self.stats.record(msg, count_tx=count_tx)
 
     def broadcast(self, src: int, payload: Sequence[np.ndarray], tag: str = "") -> int:
         """Deliver to every neighbour of *src*; returns receiver count.
 
         Counts as ONE transmission in ``stats.n_tx_params`` (a shared-
         medium broadcast), while every neighbour still receives a copy.
+        An agent with zero neighbours still transmits once (nobody is
+        listening, but the radio cost is real and is accounted).
         """
         neighbors = self.topology.neighbors(src)
+        if not neighbors:
+            self.stats.n_tx_params += sum(int(np.asarray(a).size) for a in payload)
+            return 0
         for i, dst in enumerate(neighbors):
             self.send(src, dst, payload, tag=tag, _count_tx=(i == 0))
         return len(neighbors)
+
+    def advance_round(self) -> None:
+        """Mark the end of one broadcast event (round boundary)."""
+        self.round += 1
 
     def collect(self, agent: int, tag: str | None = None) -> list[Message]:
         """Drain (and return) *agent*'s mailbox, optionally filtered by tag.
@@ -134,4 +175,6 @@ class MessageBus:
         return out
 
     def pending(self, agent: int) -> int:
+        if agent not in self._mailboxes:
+            raise KeyError(f"unknown agent {agent}")
         return len(self._mailboxes[agent])

@@ -74,9 +74,24 @@ def average_weights(
         raise ValueError("need at least one weight set")
     n = len(weight_sets)
     k = len(weight_sets[0])
-    for ws in weight_sets:
+    for i, ws in enumerate(weight_sets):
         if len(ws) != k:
-            raise ValueError("all weight sets must have the same length")
+            raise ValueError(
+                f"all weight sets must have the same length: "
+                f"client 0 has {k} arrays, client {i} has {len(ws)}"
+            )
+        for j, w in enumerate(ws):
+            arr = np.asarray(w)
+            ref_shape = np.asarray(weight_sets[0][j]).shape
+            if arr.shape != ref_shape:
+                raise ValueError(
+                    f"shape mismatch in array {j}: client {i} sent "
+                    f"{arr.shape}, client 0 has {ref_shape}"
+                )
+            if not np.issubdtype(arr.dtype, np.number):
+                raise ValueError(
+                    f"non-numeric dtype {arr.dtype} in array {j} from client {i}"
+                )
     if client_weights is None:
         cw = np.full(n, 1.0 / n)
     else:

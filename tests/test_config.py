@@ -142,7 +142,9 @@ class TestPFDRLConfig:
 class TestConfigToDict:
     def test_nested_roundtrip_keys(self):
         d = config_to_dict(PFDRLConfig())
-        assert set(d) == {"data", "forecast", "dqn", "federation", "episodes", "seed"}
+        assert set(d) == {
+            "data", "forecast", "dqn", "federation", "faults", "episodes", "seed",
+        }
         assert d["dqn"]["memory_capacity"] == 2000
         assert isinstance(d["data"]["device_types"], list)
 
