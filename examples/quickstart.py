@@ -6,7 +6,10 @@ federated DQN energy managers (Algorithm 2), and reports the held-out
 forecast accuracy and standby-energy savings.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --telemetry run.jsonl   # + run journal
 """
+
+import argparse
 
 from repro.config import (
     DataConfig,
@@ -16,9 +19,10 @@ from repro.config import (
     PFDRLConfig,
 )
 from repro.core import PFDRLSystem
+from repro.obs import RunJournal, Telemetry
 
 
-def main() -> None:
+def main(telemetry_path: str | None = None) -> None:
     config = PFDRLConfig(
         data=DataConfig(
             n_residences=6,
@@ -37,8 +41,10 @@ def main() -> None:
         episodes=2,
     )
 
+    telemetry = Telemetry(journal=RunJournal()) if telemetry_path else None
+
     print("Running the PFDRL pipeline (DFL forecasting -> PFDRL EMS)...")
-    result = PFDRLSystem(config).run()
+    result = PFDRLSystem(config, telemetry=telemetry).run()
 
     print(f"\ntrain days: {result.n_train_days}   test days: {result.n_test_days}")
     print(f"held-out forecast accuracy : {result.forecast_accuracy:.1%}")
@@ -47,6 +53,16 @@ def main() -> None:
           f"{result.ems.saved_standby_kwh.mean():.3f} kWh/test-day")
     print(f"comfort violations (min)   : {int(result.ems.comfort_violations.sum())}")
 
+    if telemetry is not None and telemetry.journal is not None:
+        n = telemetry.journal.write(telemetry_path)
+        print(f"telemetry journal          : {n} events -> {telemetry_path}")
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="write a JSONL run journal to PATH")
+    # parse_known_args: the test harness re-runs this file under its own
+    # argv; unknown flags must not abort the example.
+    args, _ = parser.parse_known_args()
+    main(args.telemetry)

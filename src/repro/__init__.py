@@ -11,6 +11,7 @@ Subpackages
 - ``repro.core``        PFDRL (Algorithm 2): personalization + orchestration
 - ``repro.baselines``   Local / Cloud / FL / FRL comparison pipelines
 - ``repro.metrics``     accuracy, energy, monetary and timing metrics
+- ``repro.obs``         run telemetry: counters/timers + JSONL run journal
 - ``repro.parallel``    multi-process fan-out over residences
 - ``repro.experiments`` one module per paper figure/table
 """

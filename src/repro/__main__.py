@@ -5,6 +5,7 @@ Usage::
     python -m repro list                       # available experiments
     python -m repro run fig05_cdf              # one experiment, text table
     python -m repro run fig02_alpha --profile ems --seed 1
+    python -m repro run fig05_cdf --telemetry out.jsonl   # + run journal
     python -m repro report                     # the quick report subset
     python -m repro report --all               # every experiment (minutes)
 """
@@ -16,6 +17,7 @@ import sys
 
 from repro.experiments.profiles import ems_profile, medium_profile, paper_profile, small_profile
 from repro.experiments.report import EXPERIMENTS, QUICK, run_experiment, run_report
+from repro.obs import RunJournal, Telemetry
 
 PROFILES = {
     "small": small_profile,
@@ -39,12 +41,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--profile", choices=sorted(PROFILES), default=None,
                        help="scale profile (default: the experiment's own)")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="write a JSONL run journal (phase timings, "
+                            "work units) to PATH")
 
     p_rep = sub.add_parser("report", help="run a set of experiments as one report")
     p_rep.add_argument("--all", action="store_true",
                        help="run every experiment (minutes) instead of the quick subset")
     p_rep.add_argument("--profile", choices=sorted(PROFILES), default=None)
     p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="write a JSONL run journal (phase timings, "
+                            "work units) to PATH")
     return parser
 
 
@@ -58,15 +66,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     profile = PROFILES[args.profile](args.seed) if args.profile else None
+    telemetry = (
+        Telemetry(journal=RunJournal()) if getattr(args, "telemetry", None) else None
+    )
     if args.command == "run":
-        result = run_experiment(args.experiment, profile, args.seed)
+        result = run_experiment(args.experiment, profile, args.seed, telemetry=telemetry)
         print(result.to_text())
-        return 0
-    if args.command == "report":
+    elif args.command == "report":
         names = sorted(EXPERIMENTS) if args.all else None
-        print(run_report(names, profile, args.seed))
-        return 0
-    return 2  # pragma: no cover - argparse enforces commands
+        print(run_report(names, profile, args.seed, telemetry=telemetry))
+    else:
+        return 2  # pragma: no cover - argparse enforces commands
+    if telemetry is not None and telemetry.journal is not None:
+        n = telemetry.journal.write(args.telemetry)
+        print(f"telemetry: {n} events -> {args.telemetry}", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

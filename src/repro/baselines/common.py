@@ -144,7 +144,7 @@ def run_method(
         test_seconds=sw.total("test"),
         params_broadcast=(
             system.dfl.bus.stats.n_tx_params
-            + getattr(system.drl, "_params_broadcast", 0)
+            + system.drl.params_broadcast_total
         ),
         data_bytes_uploaded=system.dfl.data_bytes_uploaded,
     )

@@ -31,6 +31,7 @@ from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.server import CentralServer
 from repro.federated.topology import make_topology
 from repro.metrics.energy import saved_energy_kwh, standby_energy_kwh
+from repro.obs.telemetry import Telemetry, ensure_telemetry
 from repro.rl.dqn import DQNAgent
 from repro.rl.env import DeviceEnv
 from repro.rng import hash_seed
@@ -42,7 +43,12 @@ SHARING_MODES = ("personalized", "full", "none")
 
 @dataclass
 class PFDRLDayResult:
-    """Outcome of one simulated training day."""
+    """Outcome of one simulated training day.
+
+    ``params_broadcast`` and ``sgd_steps`` are both *per-day deltas*
+    (the work done during this day only); the running total is
+    :attr:`PFDRLTrainer.params_broadcast_total`.
+    """
 
     day: int
     mean_reward: float
@@ -109,6 +115,7 @@ class PFDRLTrainer:
         agent_scope: str = "residence",
         seed: int = 0,
         fault_config: FaultConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if sharing not in SHARING_MODES:
             raise ValueError(f"sharing must be one of {SHARING_MODES}")
@@ -193,6 +200,7 @@ class PFDRLTrainer:
         )
         self._minutes_trained = 0
         self._params_broadcast = 0
+        self.telemetry = ensure_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     def agent_for(self, residence_id: int, device: str) -> DQNAgent:
@@ -208,6 +216,12 @@ class PFDRLTrainer:
     def minutes_trained(self) -> int:
         return self._minutes_trained
 
+    @property
+    def params_broadcast_total(self) -> int:
+        """Cumulative parameters broadcast since construction (every
+        γ round across all days, plus the :meth:`finalize` round)."""
+        return self._params_broadcast
+
     def run_day(self) -> PFDRLDayResult:
         """One simulated day: hour episodes per device, γ-periodic sharing."""
         mpd = self.minutes_per_day
@@ -217,10 +231,19 @@ class PFDRLTrainer:
         if stop <= start:
             raise RuntimeError("streams exhausted: no more days to train on")
 
+        tel = self.telemetry
+        day_t0 = tel.now()
         rewards: list[float] = []
         optima: list[float] = []
         n_events = 0
         sgd_before = sum(a.sgd_steps for a in self.agents)
+        params_before = self._params_broadcast
+        quorum_before = self.bus.stats.n_quorum_skips
+        sgd_by_agent = (
+            {key: agent.sgd_steps for key, agent in self._agents.items()}
+            if tel
+            else {}
+        )
         # Same boundary convention as the DFL trainer: the midnight event
         # belongs to the next day's range.
         day_events = set(self.scheduler.events_in(start, stop).tolist())
@@ -228,36 +251,77 @@ class PFDRLTrainer:
             hi = min(lo + self.horizon, stop)
             if hi - lo < 2:
                 continue
-            for stream in self.streams:
-                for dev_stream in stream.devices.values():
-                    agent = self.agent_for(stream.residence_id, dev_stream.device)
-                    chunk = dev_stream.slice(lo, hi)
-                    env = DeviceEnv(
-                        chunk.predicted_kw,
-                        chunk.real_kw,
-                        chunk.on_kw,
-                        chunk.standby_kw,
-                        ground_truth_mode=chunk.mode,
-                        device=chunk.device,
-                    )
-                    rewards.append(agent.run_episode(env, learn=True))
-                    optima.append(env.max_episode_reward())
+            with tel.timer("pfdrl.train"):
+                for stream in self.streams:
+                    for dev_stream in stream.devices.values():
+                        agent = self.agent_for(stream.residence_id, dev_stream.device)
+                        chunk = dev_stream.slice(lo, hi)
+                        env = DeviceEnv(
+                            chunk.predicted_kw,
+                            chunk.real_kw,
+                            chunk.on_kw,
+                            chunk.standby_kw,
+                            ground_truth_mode=chunk.mode,
+                            device=chunk.device,
+                        )
+                        rewards.append(agent.run_episode(env, learn=True))
+                        optima.append(env.max_episode_reward())
             if any(lo < e <= hi for e in day_events):
-                self._share_round()
+                round_t0 = tel.now()
+                round_params = self._params_broadcast
+                round_quorum = self.bus.stats.n_quorum_skips
+                with tel.timer("pfdrl.share"):
+                    self._share_round()
+                tel.event(
+                    "pfdrl.round",
+                    day=day,
+                    round=n_events,
+                    params_tx=self._params_broadcast - round_params,
+                    quorum_skips=self.bus.stats.n_quorum_skips - round_quorum,
+                    seconds=tel.now() - round_t0,
+                )
                 n_events += 1
 
         self._minutes_trained = stop
         total_r = float(np.sum(rewards)) if rewards else 0.0
         total_opt = float(np.sum(optima)) if optima else 0.0
-        return PFDRLDayResult(
+        result = PFDRLDayResult(
             day=day,
             mean_reward=float(np.mean(rewards)) if rewards else float("nan"),
             reward_fraction=total_r / total_opt if total_opt > 0 else float("nan"),
             n_broadcast_events=n_events,
-            params_broadcast=self._params_broadcast,
+            params_broadcast=self._params_broadcast - params_before,
             sgd_steps=sum(a.sgd_steps for a in self.agents) - sgd_before,
             n_quorum_skipped=self.bus.stats.n_quorum_skips,
         )
+        if tel:
+            for key in sorted(self._agents):
+                rid, slot = key
+                tel.event(
+                    "pfdrl.agent",
+                    day=day,
+                    residence=rid,
+                    slot=slot,
+                    sgd_steps=self._agents[key].sgd_steps - sgd_by_agent[key],
+                )
+            tel.event(
+                "pfdrl.day",
+                day=day,
+                residences=len(self.streams),
+                rounds=n_events,
+                seconds=tel.now() - day_t0,
+                sgd_steps=result.sgd_steps,
+                params_tx=result.params_broadcast,
+                quorum_skips=self.bus.stats.n_quorum_skips - quorum_before,
+                mean_reward=result.mean_reward,
+                reward_fraction=result.reward_fraction,
+            )
+            tel.add_work(
+                "pfdrl.train", sgd_steps=result.sgd_steps
+            )
+            tel.add_work("pfdrl.share", params_tx=result.params_broadcast)
+            tel.record_transport(self.bus.stats, prefix="pfdrl.transport")
+        return result
 
     def run(self, n_days: int) -> list[PFDRLDayResult]:
         """Train *n_days* consecutive days, returning per-day results."""
@@ -275,7 +339,13 @@ class PFDRLTrainer:
         the merged base + local personal layers.  Local-only training
         deploys as-is.  Call once after training, before evaluation.
         """
-        self._share_round()
+        tel = self.telemetry
+        params_before = self._params_broadcast
+        with tel.timer("pfdrl.share"):
+            self._share_round()
+        tel.event(
+            "pfdrl.finalize", params_tx=self._params_broadcast - params_before
+        )
 
     # ------------------------------------------------------------------
     def _share_round(self) -> None:

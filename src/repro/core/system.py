@@ -25,6 +25,7 @@ from repro.core.streams import build_streams
 from repro.data.dataset import NeighborhoodDataset
 from repro.data.generator import generate_neighborhood
 from repro.federated.dfl import DFLRoundResult, DFLTrainer
+from repro.obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = ["PFDRLSystem", "SystemResult"]
 
@@ -56,6 +57,12 @@ class PFDRLSystem:
         Override the federation styles (used by the baseline pipelines):
         forecast_mode ∈ {decentralized, centralized, local},
         sharing ∈ {personalized, full, none}.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` registry.  Threaded into
+        both trainers; the system additionally emits one
+        ``system.phase`` event per pipeline stage (forecast / ems /
+        evaluate) with its wall-clock seconds.  ``None`` (default) runs
+        through the shared no-op object — zero overhead, bit-identical.
     """
 
     def __init__(
@@ -64,11 +71,13 @@ class PFDRLSystem:
         dataset: NeighborhoodDataset | None = None,
         forecast_mode: str = "decentralized",
         sharing: str = "personalized",
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config or PFDRLConfig()
         self.dataset = dataset or generate_neighborhood(self.config.data)
         self.forecast_mode = forecast_mode
         self.sharing = sharing
+        self.telemetry = ensure_telemetry(telemetry)
 
         total_days = int(self.dataset.n_days)
         self.n_train_days = max(1, int(round(total_days * self.config.data.train_fraction)))
@@ -87,6 +96,8 @@ class PFDRLSystem:
     # ------------------------------------------------------------------
     def run_forecasting(self) -> list[DFLRoundResult]:
         """Stage 1: train the DFL load forecasters day by day."""
+        tel = self.telemetry
+        t0 = tel.now()
         self.dfl = DFLTrainer(
             self.train_data,
             forecast_config=self.config.forecast,
@@ -94,13 +105,24 @@ class PFDRLSystem:
             mode=self.forecast_mode,
             seed=self.config.seed,
             fault_config=self.config.faults,
+            telemetry=tel,
         )
-        return self.dfl.run(self.n_train_days)
+        with tel.timer("system.forecast"):
+            history = self.dfl.run(self.n_train_days)
+        tel.event(
+            "system.phase",
+            phase="forecast",
+            days=self.n_train_days,
+            seconds=tel.now() - t0,
+        )
+        return history
 
     def run_energy_management(self) -> list[PFDRLDayResult]:
         """Stage 2: train the PFDRL agents over the training streams."""
         if self.dfl is None:
             raise RuntimeError("run_forecasting() first")
+        tel = self.telemetry
+        t0 = tel.now()
         train_streams = build_streams(self.train_data, self.dfl, t0=0)
         self.drl = PFDRLTrainer(
             train_streams,
@@ -109,23 +131,40 @@ class PFDRLSystem:
             sharing=self.sharing,
             seed=self.config.seed,
             fault_config=self.config.faults,
+            telemetry=tel,
         )
         history: list[PFDRLDayResult] = []
-        for _ in range(max(1, self.config.episodes)):
-            self.drl.rewind()
-            history.extend(self.drl.run(self.n_train_days))
-        self.drl.finalize()  # deploy the shared model before evaluation
+        with tel.timer("system.ems"):
+            for _ in range(max(1, self.config.episodes)):
+                self.drl.rewind()
+                history.extend(self.drl.run(self.n_train_days))
+            self.drl.finalize()  # deploy the shared model before evaluation
+        tel.event(
+            "system.phase",
+            phase="ems",
+            days=self.n_train_days * max(1, self.config.episodes),
+            seconds=tel.now() - t0,
+        )
         return history
 
     def evaluate(self) -> tuple[float, EMSEvaluation]:
         """Stage 3: held-out forecast accuracy + greedy EMS evaluation."""
         if self.dfl is None or self.drl is None:
             raise RuntimeError("run the training stages first")
-        accuracy = self.dfl.mean_accuracy(self.test_data)
-        test_streams = build_streams(
-            self.test_data, self.dfl, t0=self.n_train_days * self.dataset.minutes_per_day
+        tel = self.telemetry
+        t0 = tel.now()
+        with tel.timer("system.evaluate"):
+            accuracy = self.dfl.mean_accuracy(self.test_data)
+            test_streams = build_streams(
+                self.test_data, self.dfl, t0=self.n_train_days * self.dataset.minutes_per_day
+            )
+            ems = self.drl.evaluate(test_streams)
+        tel.event(
+            "system.phase",
+            phase="evaluate",
+            days=self.n_test_days,
+            seconds=tel.now() - t0,
         )
-        ems = self.drl.evaluate(test_streams)
         return accuracy, ems
 
     def run(self) -> SystemResult:

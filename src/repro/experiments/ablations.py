@@ -188,7 +188,7 @@ def run_agent_scope(profile: Profile | None = None, seed: int = 0) -> Experiment
         trainer.finalize()
         labels.append(scope)
         saved.append(trainer.evaluate(test_streams).saved_standby_fraction)
-        params.append(trainer._params_broadcast)
+        params.append(trainer.params_broadcast_total)
 
     result = ExperimentResult(
         name="ablation_agent_scope",

@@ -33,7 +33,7 @@ def run(
             profile, train_streams, sharing="personalized", gamma_hours=gamma, seed=seed
         )
         saved.append(trainer.evaluate(test_streams).saved_standby_fraction)
-        comms.append(trainer._params_broadcast)
+        comms.append(trainer.params_broadcast_total)
 
     result = ExperimentResult(
         name="fig04_gamma",

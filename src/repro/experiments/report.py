@@ -33,6 +33,7 @@ from repro.experiments import (
 )
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.profiles import Profile
+from repro.obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = ["EXPERIMENTS", "run_report", "run_experiment"]
 
@@ -75,28 +76,48 @@ QUICK = (
 
 
 def run_experiment(
-    name: str, profile: Profile | None = None, seed: int = 0
+    name: str,
+    profile: Profile | None = None,
+    seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> ExperimentResult:
-    """Run one experiment by name."""
+    """Run one experiment by name.
+
+    With *telemetry*, the figure's wall-clock lands in the
+    ``experiment.<name>`` timer and one ``experiment.phase`` event is
+    emitted (the per-figure phase accounting for the time-overhead
+    comparisons).
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
-    return fn(profile, seed)
+    tel = ensure_telemetry(telemetry)
+    t0 = time.perf_counter()
+    with tel.timer(f"experiment.{name}"):
+        result = fn(profile, seed)
+    tel.event(
+        "experiment.phase",
+        experiment=name,
+        seed=seed,
+        seconds=time.perf_counter() - t0,
+    )
+    return result
 
 
 def run_report(
     names: list[str] | None = None,
     profile: Profile | None = None,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> str:
     """Run *names* (default: the quick subset) and render one report."""
     names = list(names) if names else list(QUICK)
     sections = ["PFDRL reproduction report", "=" * 26, ""]
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name, profile, seed)
+        result = run_experiment(name, profile, seed, telemetry=telemetry)
         elapsed = time.perf_counter() - t0
         sections.append(result.to_text())
         sections.append(f"({elapsed:.1f}s)")

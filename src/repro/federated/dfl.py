@@ -40,6 +40,7 @@ from repro.forecast import Forecaster, make_forecaster, make_windows, normalize_
 from repro.forecast.features import augment_time_features
 from repro.metrics.accuracy import horizon_energy_accuracy
 from repro.nn.serialization import average_weights
+from repro.obs.telemetry import Telemetry, ensure_telemetry
 from repro.parallel import ParallelConfig, parallel_map
 from repro.rng import hash_seed
 
@@ -224,6 +225,7 @@ class DFLTrainer:
         n_workers: int = 1,
         compressor=None,
         fault_config: FaultConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if mode not in ("decentralized", "centralized", "local", "cloud"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -269,6 +271,7 @@ class DFLTrainer:
         self.compressed_bytes = 0
         #: Raw feature bytes shipped to the hub (cloud mode's privacy cost).
         self.data_bytes_uploaded = 0
+        self.telemetry = ensure_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     @property
@@ -288,21 +291,38 @@ class DFLTrainer:
         if stop <= start:
             raise RuntimeError("dataset exhausted: no more days to train on")
 
+        tel = self.telemetry
+        day_t0 = tel.now()
+        params_before = self.bus.stats.n_tx_params
+        quorum_before = self.bus.stats.n_quorum_skips
         events = self.scheduler.events_in(start, stop).tolist()
         boundaries = [start, *events, stop]
         losses: dict[str, list[float]] = {d: [] for d in self.device_types}
         n_events = 0
         for lo, hi in zip(boundaries[:-1], boundaries[1:]):
             if hi > lo:
-                if self.mode == "cloud":
-                    for device in self.device_types:
-                        loss = self._cloud_train_segment(device, lo, hi)
-                        if np.isfinite(loss):
-                            losses[device].append(loss)
-                else:
-                    self._train_interval(lo, hi, losses)
+                with tel.timer("dfl.local"):
+                    if self.mode == "cloud":
+                        for device in self.device_types:
+                            loss = self._cloud_train_segment(device, lo, hi)
+                            if np.isfinite(loss):
+                                losses[device].append(loss)
+                    else:
+                        self._train_interval(lo, hi, losses)
             if hi in events:
-                self._broadcast_and_aggregate()
+                round_t0 = tel.now()
+                round_params = self.bus.stats.n_tx_params
+                round_quorum = self.bus.stats.n_quorum_skips
+                with tel.timer("dfl.broadcast"):
+                    self._broadcast_and_aggregate()
+                tel.event(
+                    "dfl.round",
+                    day=day,
+                    round=n_events,
+                    params_tx=self.bus.stats.n_tx_params - round_params,
+                    quorum_skips=self.bus.stats.n_quorum_skips - round_quorum,
+                    seconds=tel.now() - round_t0,
+                )
                 n_events += 1
 
         self._minutes_trained = stop
@@ -310,7 +330,7 @@ class DFLTrainer:
             d: (float(np.mean(v)) if v else float("nan")) for d, v in losses.items()
         }
         finite = [v for v in per_device.values() if np.isfinite(v)]
-        return DFLRoundResult(
+        result = DFLRoundResult(
             day=day,
             mean_train_loss=float(np.mean(finite)) if finite else float("nan"),
             n_broadcast_events=n_events,
@@ -320,6 +340,23 @@ class DFLTrainer:
             n_quorum_skipped=self.bus.stats.n_quorum_skips,
             n_retransmits=self.bus.stats.n_retransmits,
         )
+        if tel:
+            tel.event(
+                "dfl.day",
+                day=day,
+                residences=len(self.clients),
+                rounds=n_events,
+                seconds=tel.now() - day_t0,
+                params_tx=self.bus.stats.n_tx_params - params_before,
+                quorum_skips=self.bus.stats.n_quorum_skips - quorum_before,
+                loss=result.mean_train_loss,
+            )
+            tel.add_work(
+                "dfl.broadcast",
+                params_tx=self.bus.stats.n_tx_params - params_before,
+            )
+            tel.record_transport(self.bus.stats, prefix="dfl.transport")
+        return result
 
     def run(self, n_days: int) -> list[DFLRoundResult]:
         """Train *n_days* consecutive days, returning per-day results."""

@@ -77,6 +77,26 @@ class TransportStats:
     n_stale_rejected: int = 0
     n_quorum_skips: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Scalar counters as one flat dict (the telemetry export view).
+
+        Per-agent / per-tag breakdowns are deliberately excluded — they
+        are unbounded in size; the registry mirrors the scalar totals.
+        """
+        return {
+            "n_messages": self.n_messages,
+            "n_params": self.n_params,
+            "n_bytes": self.n_bytes,
+            "n_tx_params": self.n_tx_params,
+            "n_retransmits": self.n_retransmits,
+            "n_dropped": self.n_dropped,
+            "n_delayed": self.n_delayed,
+            "n_corrupted": self.n_corrupted,
+            "n_quarantined": self.n_quarantined,
+            "n_stale_rejected": self.n_stale_rejected,
+            "n_quorum_skips": self.n_quorum_skips,
+        }
+
     def record(self, msg: Message, count_tx: bool = True) -> None:
         self.n_messages += 1
         self.n_params += msg.n_params

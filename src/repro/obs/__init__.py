@@ -1,0 +1,47 @@
+"""``repro.obs`` — lightweight, dependency-free run observability.
+
+Two cooperating pieces:
+
+- :class:`Telemetry` — an in-memory registry of counters, gauges and
+  labelled timers (absorbing :class:`repro.metrics.timing.Stopwatch`),
+  threaded through the hot paths (``DFLTrainer``, ``PFDRLTrainer``, the
+  transport fabric, ``PFDRLSystem``, the experiment harness).
+- :class:`RunJournal` — a structured JSONL event log (one event per
+  phase: day, round, residence, seconds, sgd_steps, params_tx, quorum
+  skips, losses) written via ``python -m repro ... --telemetry out.jsonl``.
+
+Disabled (the default, ``telemetry=None`` everywhere) the system runs
+through the shared :data:`NULL_TELEMETRY` no-op object: no clock reads,
+no allocations, bit-identical results.  Enabled, everything except
+wall-clock ``seconds`` fields is deterministic for a fixed seed.
+
+See DESIGN.md §10 for the event schema and phase taxonomy.
+"""
+
+from repro.obs.journal import (
+    RunJournal,
+    TIMING_FIELD,
+    is_timing_field,
+    read_journal,
+    strip_timing,
+    validate_event,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    ensure_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "ensure_telemetry",
+    "RunJournal",
+    "read_journal",
+    "validate_event",
+    "strip_timing",
+    "is_timing_field",
+    "TIMING_FIELD",
+]

@@ -1,0 +1,170 @@
+"""Structured run journal: one JSON object per pipeline phase event.
+
+The journal is the durable half of ``repro.obs``: while the
+:class:`~repro.obs.telemetry.Telemetry` registry aggregates counters and
+timers in memory, the journal records the *sequence* of phase events —
+one line of JSON per event — so a finished run can be audited offline
+(which day took how long, how many parameters crossed the wire in each
+γ round, which rounds were quorum-skipped).
+
+Schema
+------
+Every event is a flat JSON object with:
+
+- ``kind`` (required, ``str``) — the phase taxonomy entry, dotted
+  ``subsystem.phase`` (e.g. ``"pfdrl.day"``, ``"dfl.round"``,
+  ``"system.phase"``; see DESIGN.md §10 for the full taxonomy);
+- ``seq`` (assigned by the journal) — monotonically increasing event
+  index, making the emission order explicit in the file;
+- any number of scalar payload fields (``int`` / ``float`` / ``str`` /
+  ``bool`` / ``None``).  Numpy scalars are coerced to native Python so
+  the file is plain JSON.
+
+Wall-clock fields (by convention ``seconds`` and any ``*_seconds``) are
+the only nondeterministic content: two runs with identical seeds produce
+identical journals after :func:`strip_timing`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "RunJournal",
+    "TIMING_FIELD",
+    "is_timing_field",
+    "strip_timing",
+    "validate_event",
+    "read_journal",
+]
+
+#: Canonical wall-clock field name; ``*_seconds`` variants also count.
+TIMING_FIELD = "seconds"
+
+_SCALARS = (str, bool, int, float, type(None))
+
+
+def is_timing_field(name: str) -> bool:
+    """Whether *name* carries wall-clock time (nondeterministic)."""
+    return name == TIMING_FIELD or name.endswith("_" + TIMING_FIELD)
+
+
+def strip_timing(event: dict[str, Any]) -> dict[str, Any]:
+    """*event* without its wall-clock fields — the deterministic part."""
+    return {k: v for k, v in event.items() if not is_timing_field(k)}
+
+
+def _coerce(value: Any) -> Any:
+    """Force a payload value down to a JSON-native scalar.
+
+    Non-finite floats (NaN/inf — e.g. a reward fraction on an empty day)
+    become ``null``: strict JSON has no NaN token, and the journal must
+    stay loadable by any JSONL consumer.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def validate_event(event: dict[str, Any]) -> dict[str, Any]:
+    """Check one event against the schema; returns it (coerced) or raises."""
+    if "kind" not in event or not isinstance(event["kind"], str) or not event["kind"]:
+        raise ValueError(f"event needs a non-empty string 'kind': {event!r}")
+    out: dict[str, Any] = {}
+    for key, value in event.items():
+        if not isinstance(key, str):
+            raise ValueError(f"event field names must be str, got {key!r}")
+        value = _coerce(value)
+        if not isinstance(value, _SCALARS):
+            raise ValueError(
+                f"event field {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+        out[key] = value
+    return out
+
+
+class RunJournal:
+    """Ordered, in-memory event log with JSONL round-trip.
+
+    >>> j = RunJournal()
+    >>> j.emit("pfdrl.day", day=0, sgd_steps=12)
+    >>> j.events[0]["kind"]
+    'pfdrl.day'
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.events)
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Validate, stamp and append one event; returns the stored dict."""
+        event = validate_event({"kind": kind, **fields})
+        event["seq"] = len(self.events)
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All events whose ``kind`` equals *kind*, in emission order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def kinds(self) -> list[str]:
+        """Sorted set of kinds present in the journal."""
+        return sorted({e["kind"] for e in self.events})
+
+    def total(self, kind: str, field: str) -> float:
+        """Sum of *field* over all events of *kind* (missing fields = 0)."""
+        return float(sum(e.get(field, 0) or 0 for e in self.of_kind(kind)))
+
+    def deterministic_view(self) -> list[dict[str, Any]]:
+        """The journal with wall-clock fields removed — comparable across
+        identically-seeded runs."""
+        return [strip_timing(e) for e in self.events]
+
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """The journal as JSONL text (one compact JSON object per line)."""
+        return "".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":")) + "\n"
+            for e in self.events
+        )
+
+    def write(self, path: str) -> int:
+        """Write the journal as JSONL to *path*; returns the event count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+        return len(self.events)
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict[str, Any]]) -> "RunJournal":
+        journal = cls()
+        for event in events:
+            event = validate_event(dict(event))
+            event.setdefault("seq", len(journal.events))
+            journal.events.append(event)
+        return journal
+
+    @classmethod
+    def read(cls, path: str) -> "RunJournal":
+        """Load a JSONL journal back; validates every line."""
+        with open(path, "r", encoding="utf-8") as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+        return cls.from_events(events)
+
+
+def read_journal(path: str) -> RunJournal:
+    """Module-level convenience alias for :meth:`RunJournal.read`."""
+    return RunJournal.read(path)

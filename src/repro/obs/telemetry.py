@@ -1,0 +1,182 @@
+"""Run-telemetry registry: counters, gauges and timers for the hot paths.
+
+``Telemetry`` is the in-memory half of ``repro.obs``.  It absorbs the
+pre-existing :class:`repro.metrics.timing.Stopwatch` (timers carry
+work-unit annotations exactly as before) and adds named counters and
+gauges, plus structured event emission into an attached
+:class:`~repro.obs.journal.RunJournal`.
+
+Disabled-by-default contract
+----------------------------
+Every instrumented component takes ``telemetry=None`` and substitutes
+:data:`NULL_TELEMETRY` — a :class:`NullTelemetry` whose methods are
+no-ops, whose timer context manager is one shared object, and whose
+``now()`` never touches the clock.  The default path therefore performs
+no timing syscalls and allocates nothing per call, keeping bit-identity
+and speed of un-instrumented runs.  ``bool(telemetry)`` answers "is
+telemetry live?" so emission blocks that need any set-up work (snapshot
+dictionaries, per-agent baselines) can be skipped wholesale::
+
+    if self.telemetry:
+        sgd_before = {k: a.sgd_steps for k, a in self._agents.items()}
+
+Determinism: with telemetry enabled, everything except wall-clock
+``seconds`` fields is a pure function of the run's seeds — see
+:meth:`RunJournal.deterministic_view`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.metrics.timing import Stopwatch, TimingRecord
+from repro.obs.journal import RunJournal
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "ensure_telemetry"]
+
+
+class Telemetry:
+    """Mutable registry of counters, gauges and labelled timers.
+
+    Parameters
+    ----------
+    journal:
+        Optional event sink; ``journal=None`` keeps the registry live
+        (counters/timers) without recording the event stream.
+    """
+
+    enabled = True
+
+    def __init__(self, journal: RunJournal | None = None) -> None:
+        self.stopwatch = Stopwatch()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.journal = journal
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- scalar instruments --------------------------------------------
+    def count(self, name: str, n: float = 1.0) -> None:
+        """Add *n* to the cumulative counter *name*."""
+        self.counters[name] = self.counters.get(name, 0.0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the point-in-time gauge *name* to *value*."""
+        self.gauges[name] = float(value)
+
+    # -- timers --------------------------------------------------------
+    def timer(self, label: str):
+        """Context manager accumulating wall time under *label*."""
+        return self.stopwatch.measure(label)
+
+    def add_work(self, label: str, **units: float) -> None:
+        """Attach work-unit counts (sgd steps, params, ...) to *label*."""
+        self.stopwatch.add_work(label, **units)
+
+    def now(self) -> float:
+        """Monotonic clock read (0.0 on the null object)."""
+        return time.perf_counter()
+
+    # -- events --------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one phase event into the attached journal (if any)."""
+        if self.journal is not None:
+            self.journal.emit(kind, **fields)
+
+    def record_transport(self, stats, prefix: str = "transport") -> None:
+        """Mirror a :class:`~repro.federated.transport.TransportStats`
+        into gauges as ``{prefix}.{counter}`` (cumulative values, so
+        gauges are the right instrument — re-recording overwrites)."""
+        for name, value in stats.as_dict().items():
+            self.gauge(f"{prefix}.{name}", value)
+
+    # -- export --------------------------------------------------------
+    def timing_record(self, label: str) -> TimingRecord:
+        return self.stopwatch.record(label)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One dict with everything the registry holds right now."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {
+                label: {
+                    "seconds": self.stopwatch.total(label),
+                    "count": self.stopwatch.count(label),
+                    "work": self.stopwatch.work(label),
+                }
+                for label in self.stopwatch.labels()
+            },
+        }
+
+
+class _NullTimer:
+    """Shared, stateless no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullTelemetry(Telemetry):
+    """Inert telemetry: same interface, no state, no clock reads.
+
+    Falsy so hot paths can gate optional bookkeeping with
+    ``if self.telemetry:``; all methods early-return without touching
+    dictionaries or ``time.perf_counter``.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        # No Stopwatch, no dicts: the null object must stay allocation-
+        # free after construction (one shared instance serves everyone).
+        self.journal = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def timer(self, label: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def add_work(self, label: str, **units: float) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def event(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def record_transport(self, stats, prefix: str = "transport") -> None:
+        return None
+
+    def timing_record(self, label: str) -> TimingRecord:
+        return TimingRecord(label, 0.0)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "timers": {}}
+
+
+#: The shared inert instance every instrumented component defaults to.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def ensure_telemetry(telemetry: Telemetry | None) -> Telemetry:
+    """``telemetry`` itself, or the shared null object for ``None``."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

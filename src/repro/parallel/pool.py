@@ -78,17 +78,35 @@ def parallel_map(
         return list(pool.map(fn, items, chunksize=config.chunksize))
 
 
+class _StarCall:
+    """Picklable tuple-unpacking wrapper: ``_StarCall(fn)(args) == fn(*args)``."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., R]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> R:
+        return self.fn(*args)
+
+
 def parallel_starmap(
     fn: Callable[..., R],
     arg_tuples: Sequence[tuple],
     config: ParallelConfig | None = None,
 ) -> list[R]:
-    """Like :func:`parallel_map` but unpacking argument tuples."""
+    """Like :func:`parallel_map` but unpacking argument tuples.
+
+    Routed through ``pool.map`` (not per-item ``submit``) so that
+    ``config.chunksize`` batches tasks per IPC round trip exactly as
+    :func:`parallel_map` does.
+    """
     config = config or ParallelConfig()
     arg_tuples = list(arg_tuples)
     workers = config.effective_workers(len(arg_tuples))
     if workers <= 1:
         return [fn(*args) for args in arg_tuples]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *args) for args in arg_tuples]
-        return [f.result() for f in futures]
+        return list(
+            pool.map(_StarCall(fn), arg_tuples, chunksize=config.chunksize)
+        )

@@ -12,6 +12,8 @@ expose the online network's parameters, and
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.config import DQNConfig
@@ -38,8 +40,10 @@ class DQNAgent:
         r_net, r_replay, r_policy = spawn(gen, 3)
 
         self.qnet = make_qnet(self.config, rng=r_net)
-        self.target = make_qnet(self.config, rng=r_net)
-        set_weights(self.target, get_weights(self.qnet))
+        # The target net starts as an exact copy of the online net; a
+        # second make_qnet() would burn random init draws from r_net only
+        # to overwrite them, shifting the stream for no reason.
+        self.target = copy.deepcopy(self.qnet)
 
         self.replay = ReplayBuffer(
             self.config.memory_capacity, self.qnet.in_dim, seed=r_replay

@@ -85,11 +85,16 @@ class ReplayBuffer:
     def sample(
         self, batch_size: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Uniform random batch: (states, actions, rewards, next_states, dones)."""
+        """Uniform random batch: (states, actions, rewards, next_states, dones).
+
+        Sampling is *without* replacement (the clamp above guarantees
+        ``batch_size <= size``): a duplicated transition inside one
+        mini-batch would double-count its TD error and bias the update.
+        """
         if self._size == 0:
             raise ValueError("cannot sample from an empty buffer")
         batch_size = min(batch_size, self._size)
-        idx = self._rng.integers(0, self._size, size=batch_size)
+        idx = self._rng.choice(self._size, size=batch_size, replace=False)
         return (
             self._states[idx].copy(),
             self._actions[idx].copy(),

@@ -1,0 +1,189 @@
+"""Regression tests for the training-loop correctness fixes (PR 2).
+
+Each class pins one fix and fails on the pre-fix code:
+
+- :class:`TestReplaySampling` — ``ReplayBuffer.sample`` drew indices
+  *with* replacement, so one mini-batch could double-count a transition;
+- :class:`TestPerDayBroadcastAccounting` — ``PFDRLDayResult.params_broadcast``
+  reported the cumulative total while ``sgd_steps`` was a per-day delta;
+- :class:`TestDQNTargetInit` — ``DQNAgent.__init__`` built the target net
+  with a second ``make_qnet`` call, burning init draws only to overwrite
+  them via the deploy-time sync;
+- :class:`TestStarmapChunksize` — ``parallel_starmap`` submitted one
+  future per item, silently ignoring ``ParallelConfig.chunksize``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DataConfig, DQNConfig, FederationConfig, PFDRLConfig
+from repro.core.pfdrl import PFDRLTrainer
+from repro.core.streams import build_streams
+from repro.data import generate_neighborhood
+from repro.nn.serialization import get_weights, set_weights, weights_allclose
+from repro.parallel import ParallelConfig, parallel_starmap
+from repro.rl.dqn import DQNAgent
+from repro.rl.qnet import make_qnet
+from repro.rl.replay import ReplayBuffer
+from repro.rng import as_generator, spawn
+
+
+def add(a, b):
+    # Module level so the real-pool test can pickle it into workers.
+    return a + b
+
+
+class TestReplaySampling:
+    """Mini-batches must be drawn without replacement."""
+
+    def _full_buffer(self, capacity=32):
+        buf = ReplayBuffer(capacity, state_dim=2, seed=0)
+        for i in range(capacity):
+            s = np.array([float(i), 0.0])
+            buf.push(s, 0, 0.0, s, False)
+        return buf
+
+    def test_full_buffer_sample_has_no_duplicates(self):
+        """Sampling the whole buffer must return every transition once.
+
+        Pre-fix (``integers`` with replacement) the chance of 20 clean
+        32-of-32 draws is astronomically small.
+        """
+        buf = self._full_buffer(32)
+        for _ in range(20):
+            states, *_ = buf.sample(32)
+            assert len(np.unique(states[:, 0])) == 32
+
+    def test_partial_batch_has_no_duplicates(self):
+        buf = self._full_buffer(32)
+        for _ in range(50):
+            states, *_ = buf.sample(16)
+            assert len(np.unique(states[:, 0])) == 16
+
+    def test_oversized_batch_clamped_to_size(self):
+        buf = ReplayBuffer(8, 1, seed=0)
+        for i in range(3):
+            buf.push(np.array([float(i)]), 0, 0.0, np.array([float(i)]), False)
+        states, actions, rewards, next_states, dones = buf.sample(8)
+        assert states.shape == (3, 1)
+        assert sorted(states[:, 0]) == [0.0, 1.0, 2.0]
+
+
+class TestPerDayBroadcastAccounting:
+    """``params_broadcast`` must be a per-day delta, like ``sgd_steps``."""
+
+    def make_trainer(self):
+        cfg = PFDRLConfig(
+            data=DataConfig(
+                n_residences=2, n_days=2, minutes_per_day=240,
+                device_types=("tv",), seed=0,
+            ),
+            dqn=DQNConfig(
+                hidden_width=8, learning_rate=0.01, batch_size=8,
+                memory_capacity=100, epsilon_decay_steps=100,
+                learn_every=8, reward_scale=1 / 30,
+            ),
+            # gamma = 2 h on a 240-min day -> 2 share events every day.
+            federation=FederationConfig(alpha=2, beta_hours=6, gamma_hours=2),
+            episodes=1,
+        )
+        streams = build_streams(generate_neighborhood(cfg.data))
+        return PFDRLTrainer(
+            streams, cfg.dqn, cfg.federation, sharing="personalized", seed=0
+        )
+
+    def test_equal_share_schedule_gives_equal_per_day_params(self):
+        tr = self.make_trainer()
+        r1 = tr.run_day()
+        r2 = tr.run_day()
+        assert r1.n_broadcast_events == r2.n_broadcast_events > 0
+        assert r1.params_broadcast > 0
+        # Pre-fix, day 2 reported the running total: exactly 2x day 1.
+        assert r2.params_broadcast == r1.params_broadcast
+
+    def test_cumulative_total_is_sum_of_deltas(self):
+        tr = self.make_trainer()
+        deltas = [tr.run_day().params_broadcast for _ in range(2)]
+        assert tr.params_broadcast_total == sum(deltas)
+        tr.finalize()
+        assert tr.params_broadcast_total > sum(deltas)
+
+
+class TestDQNTargetInit:
+    """The target net is a deep copy, not a second random init."""
+
+    def cfg(self):
+        return DQNConfig(hidden_width=10, batch_size=8, memory_capacity=50)
+
+    def test_make_qnet_called_exactly_once(self, monkeypatch):
+        import repro.rl.dqn as dqn_mod
+
+        calls = []
+        real = dqn_mod.make_qnet
+
+        def counting(config, rng=None):
+            calls.append(config)
+            return real(config, rng=rng)
+
+        monkeypatch.setattr(dqn_mod, "make_qnet", counting)
+        DQNAgent(self.cfg(), seed=0)
+        assert len(calls) == 1
+
+    def test_qnet_init_stream_unchanged(self):
+        """The online net's init must still consume exactly the first
+        spawned child stream — the fix may not shift existing seeds."""
+        cfg = self.cfg()
+        agent = DQNAgent(cfg, seed=0)
+        r_net = spawn(as_generator(0), 3)[0]
+        reference = make_qnet(cfg, rng=r_net)
+        assert weights_allclose(get_weights(agent.qnet), get_weights(reference))
+
+    def test_target_matches_but_is_independent(self):
+        agent = DQNAgent(self.cfg(), seed=0)
+        target_before = get_weights(agent.target)
+        assert weights_allclose(target_before, get_weights(agent.qnet))
+        set_weights(agent.qnet, [w + 1.0 for w in get_weights(agent.qnet)])
+        # Mutating the online net must not leak into the target copy.
+        assert weights_allclose(get_weights(agent.target), target_before)
+
+
+class TestStarmapChunksize:
+    """``parallel_starmap`` must batch via ``pool.map(chunksize=...)``."""
+
+    def test_chunksize_reaches_the_pool(self, monkeypatch):
+        import repro.parallel.pool as pool_mod
+
+        seen = {}
+
+        class SpyPool:
+            def __init__(self, max_workers=None):
+                seen["max_workers"] = max_workers
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items, chunksize=1):
+                seen["chunksize"] = chunksize
+                return [fn(x) for x in items]
+
+            def submit(self, fn, *args):  # pragma: no cover - pre-fix path
+                raise AssertionError("starmap must not submit per-item futures")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", SpyPool)
+        cfg = ParallelConfig(n_workers=2, min_tasks_per_worker=1, chunksize=3)
+        args = [(i, 2 * i) for i in range(8)]
+        assert parallel_starmap(add, args, cfg) == [3 * i for i in range(8)]
+        assert seen["chunksize"] == 3
+        assert seen["max_workers"] == 2
+
+    def test_real_pool_agreement_under_chunking(self):
+        args = [(i, i * i) for i in range(9)]
+        cfg = ParallelConfig(n_workers=2, min_tasks_per_worker=1, chunksize=3)
+        assert parallel_starmap(add, args, cfg) == [a + b for a, b in args]
+
+    def test_serial_path_unaffected(self):
+        args = [(i, 1) for i in range(3)]
+        assert parallel_starmap(add, args) == [i + 1 for i in range(3)]

@@ -1,0 +1,302 @@
+"""Tests for ``repro.obs`` — the telemetry registry and run journal.
+
+Covers the tentpole acceptance criteria:
+
+- the disabled (null) path performs no clock reads and no journal work;
+- journal events round-trip through JSONL with the schema intact;
+- a 2-residence / 2-day PFDRL run emits exactly the expected events and
+  the per-day ``params_tx`` / ``sgd_steps`` totals reconcile with
+  :class:`PFDRLDayResult` and :class:`TransportStats`;
+- non-timing journal content is deterministic across identical seeds,
+  and enabling telemetry never perturbs training results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import DataConfig, DQNConfig, FederationConfig, PFDRLConfig
+from repro.core.pfdrl import PFDRLTrainer
+from repro.core.streams import build_streams
+from repro.core.system import PFDRLSystem
+from repro.data import generate_neighborhood
+from repro.federated.dfl import DFLTrainer
+from repro.obs import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    RunJournal,
+    Telemetry,
+    ensure_telemetry,
+    is_timing_field,
+    read_journal,
+    strip_timing,
+    validate_event,
+)
+
+
+def tiny_cfg(seed=0):
+    return PFDRLConfig(
+        data=DataConfig(
+            n_residences=2, n_days=2, minutes_per_day=240,
+            device_types=("tv",), seed=seed,
+        ),
+        dqn=DQNConfig(
+            hidden_width=8, learning_rate=0.01, batch_size=8,
+            memory_capacity=100, epsilon_decay_steps=100,
+            learn_every=8, reward_scale=1 / 30,
+        ),
+        federation=FederationConfig(alpha=2, beta_hours=6, gamma_hours=6),
+        episodes=1,
+    )
+
+
+def make_trainer(telemetry=None, seed=0):
+    cfg = tiny_cfg()
+    ds = generate_neighborhood(cfg.data)
+    streams = build_streams(ds)
+    return PFDRLTrainer(
+        streams, cfg.dqn, cfg.federation,
+        sharing="personalized", seed=seed, telemetry=telemetry,
+    )
+
+
+class TestJournal:
+    def test_emit_and_query(self):
+        j = RunJournal()
+        j.emit("pfdrl.day", day=0, sgd_steps=10)
+        j.emit("pfdrl.day", day=1, sgd_steps=12)
+        j.emit("dfl.day", day=0, params_tx=100)
+        assert len(j) == 3
+        assert j.kinds() == ["dfl.day", "pfdrl.day"]
+        assert j.total("pfdrl.day", "sgd_steps") == 22
+        assert [e["seq"] for e in j] == [0, 1, 2]
+
+    def test_schema_round_trip(self, tmp_path):
+        j = RunJournal()
+        j.emit("a.b", day=np.int64(3), x=np.float32(1.5), ok=np.bool_(True),
+               label="fridge", missing=None)
+        j.emit("a.c", seconds=0.25)
+        path = str(tmp_path / "run.jsonl")
+        assert j.write(path) == 2
+        back = read_journal(path)
+        assert back.events == j.events
+        # Every line is standalone strict JSON.
+        with open(path) as fh:
+            for line in fh:
+                assert isinstance(json.loads(line), dict)
+
+    def test_non_finite_floats_become_null(self):
+        j = RunJournal()
+        j.emit("x", loss=float("nan"), frac=float("inf"))
+        assert j.events[0]["loss"] is None
+        assert j.events[0]["frac"] is None
+        json.loads(j.dumps().strip())  # strict-parsable
+
+    def test_validation_rejects_bad_events(self):
+        with pytest.raises(ValueError):
+            validate_event({"day": 1})  # no kind
+        with pytest.raises(ValueError):
+            validate_event({"kind": ""})
+        with pytest.raises(ValueError):
+            validate_event({"kind": "x", "payload": [1, 2]})  # non-scalar
+        with pytest.raises(ValueError):
+            validate_event({"kind": "x", "arr": np.zeros(3)})
+
+    def test_strip_timing(self):
+        e = {"kind": "x", "seconds": 1.0, "train_seconds": 2.0, "day": 3}
+        assert strip_timing(e) == {"kind": "x", "day": 3}
+        assert is_timing_field("seconds")
+        assert is_timing_field("eval_seconds")
+        assert not is_timing_field("secondsish")
+
+
+class TestTelemetryRegistry:
+    def test_counters_gauges_timers(self):
+        t = Telemetry()
+        t.count("rounds")
+        t.count("rounds", 2)
+        t.gauge("clients", 8)
+        with t.timer("phase"):
+            pass
+        t.add_work("phase", sgd_steps=5)
+        snap = t.snapshot()
+        assert snap["counters"]["rounds"] == 3
+        assert snap["gauges"]["clients"] == 8.0
+        assert snap["timers"]["phase"]["count"] == 1
+        assert snap["timers"]["phase"]["work"] == {"sgd_steps": 5}
+        assert t.timing_record("phase").seconds >= 0
+
+    def test_event_without_journal_is_dropped(self):
+        t = Telemetry()  # no journal attached
+        t.event("x", day=0)  # must not raise
+        assert t.journal is None
+
+    def test_ensure_telemetry(self):
+        assert ensure_telemetry(None) is NULL_TELEMETRY
+        t = Telemetry()
+        assert ensure_telemetry(t) is t
+
+
+class TestNullPath:
+    def test_null_is_falsy_and_shared(self):
+        assert not NULL_TELEMETRY
+        assert bool(Telemetry())
+        assert isinstance(NULL_TELEMETRY, NullTelemetry)
+        # The timer context manager is one shared object — no per-call
+        # allocation on the hot path.
+        assert NULL_TELEMETRY.timer("a") is NULL_TELEMETRY.timer("b")
+
+    def test_null_never_touches_the_clock(self, monkeypatch):
+        import repro.obs.telemetry as tel_mod
+
+        def boom():  # pragma: no cover - must never run
+            raise AssertionError("null telemetry read the clock")
+
+        monkeypatch.setattr(tel_mod.time, "perf_counter", boom)
+        t = NullTelemetry()
+        assert t.now() == 0.0
+        with t.timer("x"):
+            pass
+        t.count("a")
+        t.gauge("b", 1.0)
+        t.event("c", day=0)
+        t.add_work("x", n=1)
+        assert t.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_trainers_default_to_null(self):
+        tr = make_trainer()
+        assert tr.telemetry is NULL_TELEMETRY
+        cfg = tiny_cfg()
+        ds = generate_neighborhood(cfg.data)
+        dfl = DFLTrainer(ds, cfg.forecast, cfg.federation, seed=0)
+        assert dfl.telemetry is NULL_TELEMETRY
+
+    def test_telemetry_does_not_perturb_training(self):
+        """Enabled telemetry must be observation-only: bit-identical
+        weights and day results versus the default null path."""
+        tr_plain = make_trainer()
+        tr_obs = make_trainer(telemetry=Telemetry(journal=RunJournal()))
+        r_plain = [tr_plain.run_day() for _ in range(2)]
+        r_obs = [tr_obs.run_day() for _ in range(2)]
+        assert r_plain == r_obs
+        for a, b in zip(tr_plain.agents, tr_obs.agents):
+            for x, y in zip(a.get_weights(), b.get_weights()):
+                assert np.array_equal(x, y)
+
+
+class TestEmissionCounts:
+    """2 residences x 2 days: the journal reconciles with the results."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        tel = Telemetry(journal=RunJournal())
+        tr = make_trainer(telemetry=tel)
+        results = [tr.run_day() for _ in range(2)]
+        return tel, tr, results
+
+    def test_day_events(self, run):
+        tel, tr, results = run
+        days = tel.journal.of_kind("pfdrl.day")
+        assert len(days) == 2
+        for event, result in zip(days, results):
+            assert event["day"] == result.day
+            assert event["rounds"] == result.n_broadcast_events
+            assert event["params_tx"] == result.params_broadcast
+            assert event["sgd_steps"] == result.sgd_steps
+            assert event["residences"] == 2
+
+    def test_round_events_match_broadcast_events(self, run):
+        tel, tr, results = run
+        rounds = tel.journal.of_kind("pfdrl.round")
+        assert len(rounds) == sum(r.n_broadcast_events for r in results)
+        assert tel.journal.total("pfdrl.round", "params_tx") == (
+            tr.params_broadcast_total
+        )
+
+    def test_agent_events_cover_each_residence_per_day(self, run):
+        tel, tr, results = run
+        agents = tel.journal.of_kind("pfdrl.agent")
+        assert len(agents) == 2 * 2  # residences x days
+        for day, result in enumerate(results):
+            per_day = [e for e in agents if e["day"] == day]
+            assert sorted(e["residence"] for e in per_day) == [0, 1]
+            assert sum(e["sgd_steps"] for e in per_day) == result.sgd_steps
+
+    def test_transport_stats_mirrored_into_registry(self, run):
+        tel, tr, results = run
+        stats = tr.bus.stats.as_dict()
+        for name, value in stats.items():
+            assert tel.gauges[f"pfdrl.transport.{name}"] == value
+        # Work units annotated on the share timer match the wire totals.
+        work = tel.stopwatch.work("pfdrl.share")
+        assert work["params_tx"] == tr.params_broadcast_total
+
+    def test_timers_populated(self, run):
+        tel, tr, results = run
+        assert tel.stopwatch.count("pfdrl.train") > 0
+        assert tel.stopwatch.count("pfdrl.share") == sum(
+            r.n_broadcast_events for r in results
+        )
+
+
+class TestDeterminism:
+    def test_journal_deterministic_modulo_wall_clock(self):
+        def run():
+            tel = Telemetry(journal=RunJournal())
+            tr = make_trainer(telemetry=tel)
+            tr.run_day()
+            tr.run_day()
+            tr.finalize()
+            return tel.journal
+
+        j1, j2 = run(), run()
+        assert j1.deterministic_view() == j2.deterministic_view()
+        # Timing fields exist (and were stripped by the view).
+        assert any("seconds" in e for e in j1.events)
+        assert not any("seconds" in e for e in j1.deterministic_view())
+
+
+class TestSystemJournal:
+    def test_full_pipeline_emits_all_phases(self, tmp_path):
+        from repro.config import ForecastConfig
+
+        cfg = PFDRLConfig(
+            data=DataConfig(
+                n_residences=2, n_days=2, minutes_per_day=240,
+                device_types=("tv",), seed=3,
+            ),
+            forecast=ForecastConfig(model="lr", window=10, horizon=10),
+            dqn=DQNConfig(
+                hidden_width=8, learning_rate=0.01, batch_size=8,
+                memory_capacity=100, epsilon_decay_steps=100,
+                learn_every=8, reward_scale=1 / 30,
+            ),
+            federation=FederationConfig(alpha=2, beta_hours=6, gamma_hours=6),
+            episodes=1,
+        )
+        tel = Telemetry(journal=RunJournal())
+        PFDRLSystem(cfg, telemetry=tel).run()
+        kinds = set(tel.journal.kinds())
+        assert {"system.phase", "dfl.day", "pfdrl.day"} <= kinds
+        phases = [e["phase"] for e in tel.journal.of_kind("system.phase")]
+        assert phases == ["forecast", "ems", "evaluate"]
+        # Round-trips through disk as valid JSONL.
+        path = str(tmp_path / "system.jsonl")
+        tel.journal.write(path)
+        assert read_journal(path).deterministic_view() == (
+            tel.journal.deterministic_view()
+        )
+
+    def test_cli_writes_journal(self, tmp_path):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "cli.jsonl")
+        code = main(["run", "table01_reward", "--profile", "small",
+                     "--telemetry", path])
+        assert code == 0
+        j = read_journal(path)
+        events = j.of_kind("experiment.phase")
+        assert len(events) == 1
+        assert events[0]["experiment"] == "table01_reward"
+        assert events[0]["seconds"] > 0
