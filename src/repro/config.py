@@ -253,6 +253,12 @@ class FaultConfig:
     staleness_horizon: int = 2
     staleness_decay: float = 0.5
     quorum_fraction: float = 0.0
+    #: Recovery mode (requires churn): an agent coming back online
+    #: restores its last durable snapshot instead of retaining whatever
+    #: happened to be in memory — the realistic crash model, where a
+    #: reboot loses RAM.  Restores are counted in
+    #: ``TransportStats.n_restores`` and telemetry.
+    recover_from_snapshot: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -201,6 +201,18 @@ class PFDRLTrainer:
         self._minutes_trained = 0
         self._params_broadcast = 0
         self.telemetry = ensure_telemetry(telemetry)
+        #: Recovery mode: per-residence snapshot of every agent slot,
+        #: replayed when churn brings the residence back online (a reboot
+        #: loses RAM).  ``None`` when the mode is off.
+        self._agent_snapshots: dict[int, dict[str, dict]] | None = None
+        if self.fault_config is not None and self.fault_config.recover_from_snapshot:
+            self._agent_snapshots = self._snapshot_all()
+
+    def _snapshot_all(self) -> dict[int, dict[str, dict]]:
+        out: dict[int, dict[str, dict]] = {}
+        for (rid, slot), agent in self._agents.items():
+            out.setdefault(rid, {})[slot] = agent.state_dict()
+        return out
 
     # ------------------------------------------------------------------
     def agent_for(self, residence_id: int, device: str) -> DQNAgent:
@@ -331,6 +343,43 @@ class PFDRLTrainer:
         """Reset the stream clock (keep learned weights) for another pass."""
         self._minutes_trained = 0
 
+    # ------------------------------------------------------------------
+    # Persistence
+    def state(self) -> dict:
+        """Complete trainer state as a checkpointable tree."""
+        state: dict = {
+            "minutes_trained": self._minutes_trained,
+            "params_broadcast": self._params_broadcast,
+            "agents": {
+                f"{rid}/{slot}": agent.state_dict()
+                for (rid, slot), agent in self._agents.items()
+            },
+            "bus": self.bus.state_dict(),
+        }
+        if self.server is not None:
+            state["server"] = self.server.state_dict()
+        if self._agent_snapshots is not None:
+            state["snapshots"] = {
+                str(rid): dict(slots)
+                for rid, slots in self._agent_snapshots.items()
+            }
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Restore :meth:`state` output; continuing is bit-identical."""
+        self._minutes_trained = int(state["minutes_trained"])
+        self._params_broadcast = int(state["params_broadcast"])
+        for (rid, slot), agent in self._agents.items():
+            agent.load_state_dict(state["agents"][f"{rid}/{slot}"])
+        self.bus.load_state_dict(state["bus"])
+        if self.server is not None:
+            self.server.load_state_dict(state["server"])
+        if "snapshots" in state and self._agent_snapshots is not None:
+            self._agent_snapshots = {
+                int(rid): dict(slots)
+                for rid, slots in state["snapshots"].items()
+            }
+
     def finalize(self) -> None:
         """Terminal share round — what actually gets *deployed*.
 
@@ -422,6 +471,30 @@ class PFDRLTrainer:
                     recv.payloads, client_weights=recv.client_weights()
                 )
         bus.advance_round()
+        self._restore_recovered()
+
+    def _restore_recovered(self) -> None:
+        """Recovery mode: reload snapshots for residences back from a crash.
+
+        Every agent slot of a recovered residence reverts to its last
+        snapshot taken while the residence was alive (one restore counted
+        per residence); currently-online residences then re-snapshot.
+        """
+        if self._agent_snapshots is None:
+            return
+        bus = self.bus
+        assert isinstance(bus, FaultyBus)
+        for rid in bus.drain_recovered():
+            slots = self._agent_snapshots.get(rid)
+            if slots is None:
+                continue
+            for slot, snap in slots.items():
+                self._agents[(rid, slot)].load_state_dict(snap)
+            bus.stats.n_restores += 1
+            self.telemetry.count("pfdrl.recovery.restores")
+        for (rid, slot), agent in self._agents.items():
+            if bus.is_online(rid):
+                self._agent_snapshots.setdefault(rid, {})[slot] = agent.state_dict()
 
     # ------------------------------------------------------------------
     def evaluate(self, eval_streams: list[ResidenceStream] | None = None) -> EMSEvaluation:

@@ -11,21 +11,39 @@ Pipeline: generate the neighbourhood → chronological train/test split →
 DFL load-forecast training (Algorithm 1) → build (predicted, real)
 streams → PFDRL energy-management training (Algorithm 2) → greedy
 evaluation on the held-out split.
+
+Checkpoint / resume
+-------------------
+Both training stages advance one simulated day at a time and offer a
+day-granular checkpoint hook: pass a
+:class:`repro.persist.CheckpointStore` to :meth:`PFDRLSystem.run` (or
+drive :meth:`state` / :meth:`restore` yourself) and the complete run
+state — forecasters, DQN agents, optimizers, replay buffers, RNG
+streams, bus counters and mailboxes, histories, telemetry — is snapshot
+after every ``checkpoint_every``-th day.  Restoring a checkpoint and
+continuing is **bit-identical** to the uninterrupted run: the same
+``SystemResult`` and the same journal (modulo wall-clock fields).  The
+dataset itself is *not* stored — it is regenerated deterministically
+from the config, and a config digest in the checkpoint meta guards
+against resuming under a different configuration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.config import PFDRLConfig
+from repro.config import PFDRLConfig, config_to_dict
 from repro.core.pfdrl import EMSEvaluation, PFDRLDayResult, PFDRLTrainer
 from repro.core.streams import build_streams
 from repro.data.dataset import NeighborhoodDataset
 from repro.data.generator import generate_neighborhood
 from repro.federated.dfl import DFLRoundResult, DFLTrainer
 from repro.obs.telemetry import Telemetry, ensure_telemetry
+from repro.persist import CheckpointError, CheckpointStore, TrainingInterrupted
 
 __all__ = ["PFDRLSystem", "SystemResult"]
 
@@ -40,6 +58,22 @@ class SystemResult:
     drl_history: list[PFDRLDayResult] = field(default_factory=list)
     n_train_days: int = 0
     n_test_days: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (numpy arrays become lists) — used by the CLI
+        ``--result-json`` export and the CI resume-equivalence diff."""
+        ems = {
+            k: (v.tolist() if isinstance(v, np.ndarray) else v)
+            for k, v in asdict(self.ems).items()
+        }
+        return {
+            "forecast_accuracy": self.forecast_accuracy,
+            "ems": ems,
+            "dfl_history": [asdict(r) for r in self.dfl_history],
+            "drl_history": [asdict(r) for r in self.drl_history],
+            "n_train_days": self.n_train_days,
+            "n_test_days": self.n_test_days,
+        }
 
 
 class PFDRLSystem:
@@ -93,59 +127,102 @@ class PFDRLSystem:
         self.dfl: DFLTrainer | None = None
         self.drl: PFDRLTrainer | None = None
 
+        # -- resumable progress ----------------------------------------
+        self._dfl_history: list[DFLRoundResult] = []
+        self._drl_history: list[PFDRLDayResult] = []
+        self._dfl_days_done = 0
+        self._forecast_done = False
+        self._ems_days_done = 0
+        self._ems_done = False
+        # -- checkpoint hooks (armed by run()) -------------------------
+        self._store: CheckpointStore | None = None
+        self._ckpt_every = 1
+        self._stop_after: int | None = None
+
     # ------------------------------------------------------------------
-    def run_forecasting(self) -> list[DFLRoundResult]:
-        """Stage 1: train the DFL load forecasters day by day."""
-        tel = self.telemetry
-        t0 = tel.now()
-        self.dfl = DFLTrainer(
+    def _make_dfl(self) -> DFLTrainer:
+        return DFLTrainer(
             self.train_data,
             forecast_config=self.config.forecast,
             federation_config=self.config.federation,
             mode=self.forecast_mode,
             seed=self.config.seed,
             fault_config=self.config.faults,
-            telemetry=tel,
+            telemetry=self.telemetry,
         )
-        with tel.timer("system.forecast"):
-            history = self.dfl.run(self.n_train_days)
-        tel.event(
-            "system.phase",
-            phase="forecast",
-            days=self.n_train_days,
-            seconds=tel.now() - t0,
-        )
-        return history
 
-    def run_energy_management(self) -> list[PFDRLDayResult]:
-        """Stage 2: train the PFDRL agents over the training streams."""
-        if self.dfl is None:
-            raise RuntimeError("run_forecasting() first")
-        tel = self.telemetry
-        t0 = tel.now()
+    def _make_drl(self) -> PFDRLTrainer:
+        assert self.dfl is not None
         train_streams = build_streams(self.train_data, self.dfl, t0=0)
-        self.drl = PFDRLTrainer(
+        return PFDRLTrainer(
             train_streams,
             dqn_config=self.config.dqn,
             federation_config=self.config.federation,
             sharing=self.sharing,
             seed=self.config.seed,
             fault_config=self.config.faults,
-            telemetry=tel,
+            telemetry=self.telemetry,
         )
-        history: list[PFDRLDayResult] = []
+
+    # ------------------------------------------------------------------
+    def run_forecasting(self) -> list[DFLRoundResult]:
+        """Stage 1: train the DFL load forecasters day by day.
+
+        Resumable: on a restored system only the remaining days run;
+        when the stage already completed this is a no-op returning the
+        recorded history.
+        """
+        tel = self.telemetry
+        t0 = tel.now()
+        if self.dfl is None:
+            self.dfl = self._make_dfl()
+        with tel.timer("system.forecast"):
+            while self._dfl_days_done < self.n_train_days:
+                self._dfl_history.append(self.dfl.run_day())
+                self._dfl_days_done += 1
+                self._checkpoint_maybe(self._dfl_days_done)
+        if not self._forecast_done:
+            self._forecast_done = True
+            tel.event(
+                "system.phase",
+                phase="forecast",
+                days=self.n_train_days,
+                seconds=tel.now() - t0,
+            )
+        return list(self._dfl_history)
+
+    def run_energy_management(self) -> list[PFDRLDayResult]:
+        """Stage 2: train the PFDRL agents over the training streams.
+
+        Resumable at day granularity across episodes; the terminal
+        :meth:`PFDRLTrainer.finalize` round runs exactly once, after the
+        last training day.
+        """
+        if self.dfl is None:
+            raise RuntimeError("run_forecasting() first")
+        tel = self.telemetry
+        t0 = tel.now()
+        if self.drl is None:
+            self.drl = self._make_drl()
+        n_episodes = max(1, self.config.episodes)
+        total = n_episodes * self.n_train_days
         with tel.timer("system.ems"):
-            for _ in range(max(1, self.config.episodes)):
-                self.drl.rewind()
-                history.extend(self.drl.run(self.n_train_days))
-            self.drl.finalize()  # deploy the shared model before evaluation
-        tel.event(
-            "system.phase",
-            phase="ems",
-            days=self.n_train_days * max(1, self.config.episodes),
-            seconds=tel.now() - t0,
-        )
-        return history
+            while self._ems_days_done < total:
+                if self._ems_days_done % self.n_train_days == 0:
+                    self.drl.rewind()
+                self._drl_history.append(self.drl.run_day())
+                self._ems_days_done += 1
+                self._checkpoint_maybe(self.n_train_days + self._ems_days_done)
+            if not self._ems_done:
+                self.drl.finalize()  # deploy the shared model before evaluation
+                self._ems_done = True
+                tel.event(
+                    "system.phase",
+                    phase="ems",
+                    days=total,
+                    seconds=tel.now() - t0,
+                )
+        return list(self._drl_history)
 
     def evaluate(self) -> tuple[float, EMSEvaluation]:
         """Stage 3: held-out forecast accuracy + greedy EMS evaluation."""
@@ -167,8 +244,37 @@ class PFDRLSystem:
         )
         return accuracy, ems
 
-    def run(self) -> SystemResult:
-        """All three stages; returns the consolidated result."""
+    def run(
+        self,
+        checkpoint_store: CheckpointStore | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        stop_after_step: int | None = None,
+    ) -> SystemResult:
+        """All three stages; returns the consolidated result.
+
+        Parameters
+        ----------
+        checkpoint_store:
+            When given, snapshot complete run state after every
+            ``checkpoint_every``-th training day (steps 1..n_train_days
+            cover the forecast stage, later steps the EMS days).
+        resume:
+            Restore the store's latest checkpoint (if any) before
+            running; only the remaining work executes.
+        stop_after_step:
+            Testing/CI hook: force-checkpoint and raise
+            :class:`~repro.persist.TrainingInterrupted` once this step
+            completes — simulating a crash at an arbitrary day.
+        """
+        self._store = checkpoint_store
+        self._ckpt_every = max(1, int(checkpoint_every))
+        self._stop_after = stop_after_step
+        if resume:
+            if checkpoint_store is None:
+                raise ValueError("resume=True needs a checkpoint_store")
+            if checkpoint_store.latest_step() is not None:
+                self.resume_from(checkpoint_store)
         dfl_history = self.run_forecasting()
         drl_history = self.run_energy_management()
         accuracy, ems = self.evaluate()
@@ -180,3 +286,91 @@ class PFDRLSystem:
             n_train_days=self.n_train_days,
             n_test_days=self.n_test_days,
         )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def config_digest(self) -> str:
+        """SHA-256 over the config + pipeline variant — resume guard."""
+        blob = json.dumps(
+            {
+                "config": config_to_dict(self.config),
+                "forecast_mode": self.forecast_mode,
+                "sharing": self.sharing,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def state(self) -> dict:
+        """Complete system state as a checkpointable tree."""
+        state: dict = {
+            "progress": {
+                "dfl_days_done": self._dfl_days_done,
+                "forecast_done": self._forecast_done,
+                "ems_days_done": self._ems_days_done,
+                "ems_done": self._ems_done,
+            },
+            "dfl_history": [asdict(r) for r in self._dfl_history],
+            "drl_history": [asdict(r) for r in self._drl_history],
+            "telemetry": self.telemetry.state_dict(),
+        }
+        if self.dfl is not None:
+            state["dfl"] = self.dfl.state()
+        if self.drl is not None:
+            state["drl"] = self.drl.state()
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Restore :meth:`state` output; continuing is bit-identical."""
+        prog = state["progress"]
+        self._dfl_days_done = int(prog["dfl_days_done"])
+        self._forecast_done = bool(prog["forecast_done"])
+        self._ems_days_done = int(prog["ems_days_done"])
+        self._ems_done = bool(prog["ems_done"])
+        self._dfl_history = [DFLRoundResult(**d) for d in state["dfl_history"]]
+        self._drl_history = [PFDRLDayResult(**d) for d in state["drl_history"]]
+        if "dfl" in state:
+            if self.dfl is None:
+                self.dfl = self._make_dfl()
+            self.dfl.restore(state["dfl"])
+        if "drl" in state:
+            # Streams derive from the (just restored) forecaster state,
+            # so the trainer must be rebuilt after the DFL restore.
+            if self.drl is None:
+                self.drl = self._make_drl()
+            self.drl.restore(state["drl"])
+        if state.get("telemetry"):
+            self.telemetry.load_state_dict(state["telemetry"])
+
+    def resume_from(self, store: CheckpointStore, step: int | None = None) -> dict:
+        """Load a checkpoint (default: latest) into this system.
+
+        Refuses checkpoints written under a different configuration or
+        pipeline variant.  Returns the checkpoint manifest.
+        """
+        state, manifest = store.load(step=step)
+        recorded = manifest.get("meta", {}).get("config_sha256")
+        if recorded is not None and recorded != self.config_digest():
+            raise CheckpointError(
+                "checkpoint was written under a different configuration "
+                f"(digest {recorded[:12]}… vs {self.config_digest()[:12]}…); "
+                "resuming would silently mix incompatible run state"
+            )
+        self.restore(state)
+        return manifest
+
+    def _checkpoint_maybe(self, step: int) -> None:
+        """Snapshot on the cadence; honour the scheduled-stop hook."""
+        stop_here = self._stop_after is not None and step >= self._stop_after
+        if self._store is not None and (step % self._ckpt_every == 0 or stop_here):
+            self._store.save(
+                step,
+                self.state(),
+                meta={
+                    "config_sha256": self.config_digest(),
+                    "dfl_days_done": self._dfl_days_done,
+                    "ems_days_done": self._ems_days_done,
+                },
+            )
+        if stop_here:
+            raise TrainingInterrupted(step)

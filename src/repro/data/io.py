@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
 
 import numpy as np
@@ -28,8 +29,10 @@ def save_npz(dataset: NeighborhoodDataset, path: str | Path) -> None:
             key = f"r{res.residence_id}__{dev}"
             arrays[f"{key}__power"] = trace.power_kw
             arrays[f"{key}__mode"] = trace.mode
+            # JSON-encode each meta row: device names may contain commas
+            # (or any other text), which a naive comma-join would corrupt.
             meta_rows.append(
-                f"{res.residence_id},{dev},{trace.on_kw!r},{trace.standby_kw!r}"
+                json.dumps([res.residence_id, dev, trace.on_kw, trace.standby_kw])
             )
     arrays["__meta__"] = np.array(meta_rows)
     arrays["__minutes_per_day__"] = np.array([dataset.minutes_per_day])
@@ -44,15 +47,22 @@ def load_npz(path: str | Path) -> NeighborhoodDataset:
         seed = int(data["__seed__"][0])
         residences: dict[int, dict[str, DeviceTrace]] = {}
         for row in data["__meta__"]:
-            rid_s, dev, on_s, standby_s = str(row).split(",")
-            rid = int(rid_s)
+            raw = str(row)
+            if raw.startswith("["):
+                rid_j, dev, on_kw, standby_kw = json.loads(raw)
+                rid = int(rid_j)
+            else:
+                # Legacy comma-joined rows from files written before the
+                # JSON encoding; only valid for comma-free device names.
+                rid_s, dev, on_s, standby_s = raw.split(",")
+                rid, on_kw, standby_kw = int(rid_s), float(on_s), float(standby_s)
             key = f"r{rid}__{dev}"
             trace = DeviceTrace(
                 device=dev,
                 power_kw=data[f"{key}__power"],
                 mode=data[f"{key}__mode"],
-                on_kw=float(on_s),
-                standby_kw=float(standby_s),
+                on_kw=float(on_kw),
+                standby_kw=float(standby_kw),
             )
             residences.setdefault(rid, {})[dev] = trace
     res_list = [

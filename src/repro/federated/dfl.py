@@ -145,6 +145,26 @@ class DFLClient:
         self._cursor[device] = new_cursor
         return self.forecasters[device].fit(X, y)
 
+    def state_dict(self) -> dict:
+        """Full client state: per-device forecasters plus stream cursors."""
+        return {
+            "cursor": dict(self._cursor),
+            "forecasters": {d: f.state_dict() for d, f in self.forecasters.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        cursor = state["cursor"]
+        forecasters = state["forecasters"]
+        if set(forecasters) != set(self.forecasters):
+            raise ValueError(
+                f"device set mismatch: snapshot has {sorted(forecasters)}, "
+                f"client has {sorted(self.forecasters)}"
+            )
+        for device, fstate in forecasters.items():
+            self.forecasters[device].load_state_dict(fstate)
+        self._cursor = {d: int(cursor[d]) for d in self.forecasters}
+
     def get_weights(self, device: str) -> list[np.ndarray]:
         return self.forecasters[device].get_weights()
 
@@ -272,6 +292,14 @@ class DFLTrainer:
         #: Raw feature bytes shipped to the hub (cloud mode's privacy cost).
         self.data_bytes_uploaded = 0
         self.telemetry = ensure_telemetry(telemetry)
+        #: Recovery mode: each agent's last durable snapshot, replayed
+        #: into the client when churn brings it back online (a reboot
+        #: loses RAM).  ``None`` when the mode is off.
+        self._agent_snapshots: dict[int, dict] | None = None
+        if self.fault_config is not None and self.fault_config.recover_from_snapshot:
+            self._agent_snapshots = {
+                c.residence_id: c.state_dict() for c in self.clients
+            }
 
     # ------------------------------------------------------------------
     @property
@@ -361,6 +389,37 @@ class DFLTrainer:
     def run(self, n_days: int) -> list[DFLRoundResult]:
         """Train *n_days* consecutive days, returning per-day results."""
         return [self.run_day() for _ in range(n_days)]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state(self) -> dict:
+        """Complete trainer state as a checkpointable tree."""
+        state: dict = {
+            "minutes_trained": self._minutes_trained,
+            "compressed_bytes": self.compressed_bytes,
+            "data_bytes_uploaded": self.data_bytes_uploaded,
+            "clients": {str(c.residence_id): c.state_dict() for c in self.clients},
+            "bus": self.bus.state_dict(),
+        }
+        if self._agent_snapshots is not None:
+            state["snapshots"] = {
+                str(rid): snap for rid, snap in self._agent_snapshots.items()
+            }
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Restore :meth:`state` output; continuing is bit-identical."""
+        self._minutes_trained = int(state["minutes_trained"])
+        self.compressed_bytes = int(state["compressed_bytes"])
+        self.data_bytes_uploaded = int(state["data_bytes_uploaded"])
+        clients = state["clients"]
+        for client in self.clients:
+            client.load_state_dict(clients[str(client.residence_id)])
+        self.bus.load_state_dict(state["bus"])
+        if "snapshots" in state and self._agent_snapshots is not None:
+            self._agent_snapshots = {
+                int(rid): snap for rid, snap in state["snapshots"].items()
+            }
 
     # ------------------------------------------------------------------
     def _train_interval(
@@ -501,6 +560,31 @@ class DFLTrainer:
                 )
                 client.set_weights(device, merged)
         bus.advance_round()
+        self._restore_recovered()
+
+    def _restore_recovered(self) -> None:
+        """Recovery mode: reload snapshots for agents back from a crash.
+
+        An agent that just flipped offline -> online lost its RAM; its
+        state reverts to the last snapshot taken while it was alive.
+        Afterwards every currently-online agent re-snapshots (crashed
+        agents keep their stale snapshot — that is the point).
+        """
+        if self._agent_snapshots is None:
+            return
+        bus = self.bus
+        assert isinstance(bus, FaultyBus)
+        by_rid = {c.residence_id: c for c in self.clients}
+        for rid in bus.drain_recovered():
+            client = by_rid.get(rid)
+            if client is None:
+                continue
+            client.load_state_dict(self._agent_snapshots[rid])
+            bus.stats.n_restores += 1
+            self.telemetry.count("dfl.recovery.restores")
+        for rid, client in by_rid.items():
+            if bus.is_online(rid):
+                self._agent_snapshots[rid] = client.state_dict()
 
     def _central_round(self) -> None:
         """Classic FedAvg through agent 0 acting as the cloud hub."""

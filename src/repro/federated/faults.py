@@ -38,8 +38,8 @@ import numpy as np
 from repro.config import FaultConfig
 from repro.federated.aggregation import staleness_weights
 from repro.federated.topology import Topology
-from repro.federated.transport import Message, MessageBus
-from repro.rng import hash_seed
+from repro.federated.transport import Message, MessageBus, message_from_state, message_state
+from repro.rng import generator_state, hash_seed, restore_generator
 
 __all__ = ["FaultyBus", "make_bus", "payload_matches", "ReceiveFilter"]
 
@@ -102,6 +102,9 @@ class FaultyBus(MessageBus):
         #: delivery round -> messages held back by the delay process.
         self._delayed: dict[int, list[Message]] = {}
         self._sitting_out: set[int] = set()
+        #: Agents that flipped offline -> online since the last call to
+        #: :meth:`drain_recovered` (the recovery mode's restore queue).
+        self._recovered: list[int] = []
         self._draw_straggler_round()
 
     # ------------------------------------------------------------------
@@ -142,6 +145,7 @@ class FaultyBus(MessageBus):
                     self._mailboxes[a] = []
             elif self._rng.random() < f.recovery_rate:
                 self._online[a] = True
+                self._recovered.append(a)
 
     # ------------------------------------------------------------------
     # transport overrides
@@ -213,6 +217,16 @@ class FaultyBus(MessageBus):
             arrays[idx] = victim.reshape(-1)[: victim.size - 1]
         return tuple(arrays)
 
+    def drain_recovered(self) -> list[int]:
+        """Agents that came back online since the last drain, in order.
+
+        The recovery mode (``FaultConfig.recover_from_snapshot``) calls
+        this after every ``advance_round`` to know whose in-memory state
+        must be replaced by its last durable snapshot.
+        """
+        out, self._recovered = self._recovered, []
+        return out
+
     def advance_round(self) -> None:
         """Round boundary: apply churn, then release due delayed messages.
 
@@ -228,6 +242,42 @@ class FaultyBus(MessageBus):
             else:
                 self.stats.n_dropped += 1
         self._draw_straggler_round()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state_dict(self) -> dict:
+        """Superclass state plus churn RNG, liveness sets and delay queue."""
+        state = super().state_dict()
+        state.update(
+            {
+                "rng": generator_state(self._rng),
+                "online": list(self._online),
+                "stragglers": sorted(self._stragglers),
+                "sitting_out": sorted(self._sitting_out),
+                "recovered": list(self._recovered),
+                "delayed": {
+                    str(due): [message_state(m) for m in msgs]
+                    for due, msgs in self._delayed.items()
+                },
+            }
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        super().load_state_dict(state)
+        restore_generator(self._rng, state["rng"])
+        online = [bool(x) for x in state["online"]]
+        if len(online) != len(self._online):
+            raise ValueError("online vector does not match this topology")
+        self._online = online
+        self._stragglers = {int(a) for a in state["stragglers"]}
+        self._sitting_out = {int(a) for a in state["sitting_out"]}
+        self._recovered = [int(a) for a in state["recovered"]]
+        self._delayed = {
+            int(due): [message_from_state(m) for m in msgs]
+            for due, msgs in state["delayed"].items()
+        }
 
 
 class ReceiveFilter:

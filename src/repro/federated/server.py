@@ -77,3 +77,31 @@ class CentralServer:
 
     def has_model(self, key: str) -> bool:
         return key in self._global
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        return {
+            "stats": {
+                "n_rounds": self.stats.n_rounds,
+                "uplink_params": self.stats.uplink_params,
+                "downlink_params": self.stats.downlink_params,
+                "dollars_charged": self.stats.dollars_charged,
+                "clients_seen": sorted(self.stats.clients_seen),
+            },
+            "global": {k: [w.copy() for w in ws] for k, ws in self._global.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        st = state["stats"]
+        self.stats.n_rounds = int(st["n_rounds"])
+        self.stats.uplink_params = int(st["uplink_params"])
+        self.stats.downlink_params = int(st["downlink_params"])
+        self.stats.dollars_charged = float(st["dollars_charged"])
+        self.stats.clients_seen = {int(c) for c in st["clients_seen"]}
+        self._global = {
+            k: [np.asarray(w, dtype=np.float64) for w in ws]
+            for k, ws in state["global"].items()
+        }

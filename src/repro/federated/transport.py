@@ -18,7 +18,13 @@ import numpy as np
 
 from repro.federated.topology import Topology
 
-__all__ = ["Message", "TransportStats", "MessageBus"]
+__all__ = [
+    "Message",
+    "TransportStats",
+    "MessageBus",
+    "message_state",
+    "message_from_state",
+]
 
 BYTES_PER_PARAM = 8  # float64 on the wire
 
@@ -45,6 +51,28 @@ class Message:
     @property
     def nbytes(self) -> int:
         return self.n_params * BYTES_PER_PARAM
+
+
+def message_state(msg: Message) -> dict:
+    """A :class:`Message` as a checkpointable state tree."""
+    return {
+        "src": msg.src,
+        "dst": msg.dst,
+        "tag": msg.tag,
+        "round": msg.round,
+        "payload": [a.copy() for a in msg.payload],
+    }
+
+
+def message_from_state(state: dict) -> Message:
+    """Rebuild a :class:`Message` from :func:`message_state` output."""
+    return Message(
+        src=int(state["src"]),
+        dst=int(state["dst"]),
+        tag=str(state["tag"]),
+        payload=tuple(np.asarray(a, dtype=np.float64) for a in state["payload"]),
+        round=int(state["round"]),
+    )
 
 
 @dataclass
@@ -76,6 +104,9 @@ class TransportStats:
     n_quarantined: int = 0
     n_stale_rejected: int = 0
     n_quorum_skips: int = 0
+    #: Snapshot restores performed by the recovery mode (an agent coming
+    #: back from crash churn reloading its last durable checkpoint).
+    n_restores: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Scalar counters as one flat dict (the telemetry export view).
@@ -95,7 +126,24 @@ class TransportStats:
             "n_quarantined": self.n_quarantined,
             "n_stale_rejected": self.n_stale_rejected,
             "n_quorum_skips": self.n_quorum_skips,
+            "n_restores": self.n_restores,
         }
+
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        """All counters, including the per-agent/per-tag breakdowns."""
+        return {
+            **self.as_dict(),
+            "per_agent_sent": {str(k): v for k, v in self.per_agent_sent.items()},
+            "per_tag_params": dict(self.per_tag_params),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        for name in self.as_dict():
+            setattr(self, name, int(state[name]))
+        self.per_agent_sent = {int(k): int(v) for k, v in state["per_agent_sent"].items()}
+        self.per_tag_params = {k: int(v) for k, v in state["per_tag_params"].items()}
 
     def record(self, msg: Message, count_tx: bool = True) -> None:
         self.n_messages += 1
@@ -198,3 +246,27 @@ class MessageBus:
         if agent not in self._mailboxes:
             raise KeyError(f"unknown agent {agent}")
         return len(self._mailboxes[agent])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        """Round counter, cumulative stats and every queued mailbox."""
+        return {
+            "round": self.round,
+            "stats": self.stats.state_dict(),
+            "mailboxes": {
+                str(agent): [message_state(m) for m in box]
+                for agent, box in self._mailboxes.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.round = int(state["round"])
+        self.stats.load_state_dict(state["stats"])
+        mailboxes = {int(k): v for k, v in state["mailboxes"].items()}
+        if set(mailboxes) != set(self._mailboxes):
+            raise ValueError("mailbox agent set does not match this topology")
+        for agent, box in mailboxes.items():
+            self._mailboxes[agent] = [message_from_state(m) for m in box]

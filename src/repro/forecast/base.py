@@ -86,6 +86,21 @@ class Forecaster(abc.ABC):
     def clone(self) -> "Forecaster":
         """Fresh untrained model with the same configuration."""
 
+    # -- persistence -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete mutable state as a state tree (see ``repro.persist``).
+
+        The base implementation covers the wire weights only; models
+        with additional training state (optimizer slots, sufficient
+        statistics, RNGs) override this so that restore-and-continue is
+        bit-identical to never having stopped.
+        """
+        return {"weights": self.get_weights()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` in place."""
+        self.set_weights([np.asarray(w, dtype=np.float64) for w in state["weights"]])
+
     # -- conveniences ----------------------------------------------------
     def n_parameters(self) -> int:
         return sum(int(w.size) for w in self.get_weights())

@@ -103,6 +103,24 @@ class LinearRegressionForecaster(Forecaster):
         self.W = w.copy()
         self._fitted = True
 
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        return {
+            "W": self.W.copy(),
+            "gram": self._gram.copy(),
+            "moment": self._moment.copy(),
+            "n_samples": self._n_samples,
+            "fitted": self._fitted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.W = np.asarray(state["W"], dtype=np.float64).copy()
+        self._gram = np.asarray(state["gram"], dtype=np.float64).copy()
+        self._moment = np.asarray(state["moment"], dtype=np.float64).copy()
+        self._n_samples = int(state["n_samples"])
+        self._fitted = bool(state["fitted"])
+
     def clone(self) -> "LinearRegressionForecaster":
         return LinearRegressionForecaster(
             self.window,

@@ -15,7 +15,7 @@ import numpy as np
 from repro.forecast.base import Forecaster
 from repro.nn import Adam, LSTMRegressor, MSELoss
 from repro.nn.serialization import get_weights, set_weights
-from repro.rng import as_generator
+from repro.rng import as_generator, generator_state, restore_generator
 
 __all__ = ["LSTMForecaster"]
 
@@ -93,6 +93,23 @@ class LSTMForecaster(Forecaster):
         # Adam moments were estimated for the pre-merge parameters; reset
         # so the merged model starts from clean optimiser state.
         self.optimizer = Adam(self.model.parameters(), lr=self.learning_rate, clip_norm=5.0)
+
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        return {
+            "weights": get_weights(self.model),
+            "optimizer": self.optimizer.state_dict(),
+            "rng": generator_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        # Bypass self.set_weights: that hook deliberately resets Adam
+        # (federated-merge semantics), but a restore must bring the
+        # moment estimates back exactly as they were.
+        set_weights(self.model, [np.asarray(w) for w in state["weights"]])
+        self.optimizer.load_state_dict(state["optimizer"])
+        restore_generator(self._rng, state["rng"])
 
     def clone(self) -> "LSTMForecaster":
         return LSTMForecaster(

@@ -111,6 +111,16 @@ class RFFSVRForecaster(Forecaster):
     def set_weights(self, weights: list[np.ndarray]) -> None:
         self._head.set_weights(weights)
 
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        # The feature map is deterministic from feature_seed (config, not
+        # state); only the linear head carries mutable state.
+        return {"head": self._head.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self._head.load_state_dict(state["head"])
+
     def clone(self) -> "RFFSVRForecaster":
         return RFFSVRForecaster(
             self.window,

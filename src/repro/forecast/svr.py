@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecast.base import Forecaster
-from repro.rng import as_generator
+from repro.rng import as_generator, generator_state, restore_generator
 
 __all__ = ["SVRForecaster"]
 
@@ -99,6 +99,19 @@ class SVRForecaster(Forecaster):
             raise ValueError("weight shape mismatch")
         self.W = w.copy()
         self.b = b.copy()
+
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        return {
+            "W": self.W.copy(),
+            "b": self.b.copy(),
+            "rng": generator_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self.set_weights([state["W"], state["b"]])
+        restore_generator(self._rng, state["rng"])
 
     def clone(self) -> "SVRForecaster":
         return SVRForecaster(

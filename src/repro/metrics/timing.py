@@ -70,6 +70,23 @@ class Stopwatch:
     def labels(self) -> list[str]:
         return sorted(set(self._totals) | set(self._work))
 
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        return {
+            "totals": dict(self._totals),
+            "counts": dict(self._counts),
+            "work": {k: dict(v) for k, v in self._work.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self._totals = {k: float(v) for k, v in state["totals"].items()}
+        self._counts = {k: int(v) for k, v in state["counts"].items()}
+        self._work = {
+            k: {u: float(v) for u, v in bucket.items()}
+            for k, bucket in state["work"].items()
+        }
+
 
 class _Segment:
     def __init__(self, sw: Stopwatch, label: str) -> None:

@@ -27,6 +27,42 @@ class Optimizer:
         for p in self.params:
             p.zero_grad()
 
+    # -- persistence ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable optimizer state (slot arrays, step counters).
+
+        Hyperparameters (lr, momentum, betas) are construction-time
+        configuration and are *not* included: a restored optimizer is
+        expected to be built from the same config first.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` in place."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
+
+    def _check_keys(self, state: dict, expected: set[str]) -> None:
+        if set(state) != expected:
+            raise ValueError(
+                f"optimizer state keys {sorted(state)} != expected {sorted(expected)}"
+            )
+
+    def _load_slots(self, slots: list[np.ndarray], arrays) -> None:
+        """Copy *arrays* into the per-parameter slot list *slots*."""
+        if len(arrays) != len(slots):
+            raise ValueError(
+                f"optimizer state has {len(arrays)} slot arrays, "
+                f"expected {len(slots)}"
+            )
+        for slot, arr in zip(slots, arrays):
+            arr = np.asarray(arr, dtype=slot.dtype)
+            if arr.shape != slot.shape:
+                raise ValueError(
+                    f"slot shape mismatch: {arr.shape} vs {slot.shape}"
+                )
+            slot[...] = arr
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and grad clipping.
@@ -57,6 +93,13 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_keys(state, {"velocity"})
+        self._load_slots(self._velocity, state["velocity"])
 
 
 class Adam(Optimizer):
@@ -92,6 +135,19 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * g * g
             p.data -= self.lr * (m / b1c) / (np.sqrt(v / b2c) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_keys(state, {"m", "v", "t"})
+        self._load_slots(self._m, state["m"])
+        self._load_slots(self._v, state["v"])
+        self._t = int(state["t"])
 
 
 def _clip_scale(params: list[Parameter], clip_norm: float | None) -> float:

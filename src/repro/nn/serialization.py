@@ -118,7 +118,12 @@ def flatten_weights(weights: Sequence[np.ndarray]) -> np.ndarray:
 
 
 def unflatten_weights(vector: np.ndarray, like: Sequence[np.ndarray]) -> Weights:
-    """Inverse of :func:`flatten_weights` given template shapes."""
+    """Inverse of :func:`flatten_weights` given template shapes.
+
+    Each returned array owns its memory: slicing the wire vector yields
+    views, and handing those out would make mutating one "weight" array
+    silently corrupt the buffer and every sibling sharing it.
+    """
     vector = np.asarray(vector, dtype=np.float64).ravel()
     total = sum(np.asarray(w).size for w in like)
     if vector.size != total:
@@ -128,7 +133,7 @@ def unflatten_weights(vector: np.ndarray, like: Sequence[np.ndarray]) -> Weights
     for w in like:
         shape = np.asarray(w).shape
         size = int(np.prod(shape)) if shape else 1
-        out.append(vector[offset : offset + size].reshape(shape))
+        out.append(vector[offset : offset + size].reshape(shape).copy())
         offset += size
     return out
 

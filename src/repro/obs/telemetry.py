@@ -92,6 +92,25 @@ class Telemetry:
         for name, value in stats.as_dict().items():
             self.gauge(f"{prefix}.{name}", value)
 
+    # -- persistence ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """Counters, gauges, stopwatch totals and the journal so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "stopwatch": self.stopwatch.state_dict(),
+            "journal": None if self.journal is None
+            else [dict(e) for e in self.journal.events],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.counters = {k: float(v) for k, v in state["counters"].items()}
+        self.gauges = {k: float(v) for k, v in state["gauges"].items()}
+        self.stopwatch.load_state_dict(state["stopwatch"])
+        events = state.get("journal")
+        if events is not None and self.journal is not None:
+            self.journal.events = [dict(e) for e in events]
+
     # -- export --------------------------------------------------------
     def timing_record(self, label: str) -> TimingRecord:
         return self.stopwatch.record(label)
@@ -171,6 +190,12 @@ class NullTelemetry(Telemetry):
 
     def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "timers": {}}
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        return None
 
 
 #: The shared inert instance every instrumented component defaults to.

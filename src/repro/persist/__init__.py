@@ -1,0 +1,48 @@
+"""Durable run state: checkpoint format, store, and state-tree codec.
+
+``repro.persist`` is the persistence layer of the library.  Components
+all over the stack (``nn`` optimizers, forecasters, replay buffers,
+policies, DQN agents, buses, trainers, the system driver, telemetry)
+expose ``state_dict()`` / ``load_state_dict()`` returning *state trees*
+— nested dicts/lists of numpy arrays and JSON scalars.  This package
+turns those trees into atomic, checksummed, versioned on-disk
+checkpoints and back:
+
+- :mod:`repro.persist.state` — the tree ⇄ flat-maps codec;
+- :mod:`repro.persist.checkpoint` — one checkpoint = NPZ + manifest,
+  written via temp-dir + rename, SHA-256 verified on load;
+- :mod:`repro.persist.store` — a keep-last-K directory of checkpoints
+  with step addressing and a JSON index.
+
+The contract the rest of the library builds on: restoring a state tree
+and continuing is *bit-identical* to never having stopped.
+"""
+
+from repro.persist.checkpoint import (
+    ARRAYS_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    CheckpointError,
+    TrainingInterrupted,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+from repro.persist.state import StateError, flatten_state, unflatten_state
+from repro.persist.store import INDEX_NAME, CheckpointStore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ARRAYS_NAME",
+    "INDEX_NAME",
+    "CheckpointError",
+    "TrainingInterrupted",
+    "StateError",
+    "flatten_state",
+    "unflatten_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_manifest",
+    "CheckpointStore",
+]

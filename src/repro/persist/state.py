@@ -1,0 +1,185 @@
+"""State-tree codec: nested run state ⇄ flat array + value maps.
+
+Checkpointable components expose ``state_dict()`` returning a *state
+tree*: arbitrarily nested ``dict``/``list`` containers whose leaves are
+either numpy arrays or JSON scalars (``int``/``float``/``str``/``bool``/
+``None``).  The on-disk checkpoint format (see
+:mod:`repro.persist.checkpoint`) stores arrays in one NPZ file and
+everything else in a JSON manifest, so this module provides the codec
+between the two shapes:
+
+- :func:`flatten_state` walks the tree and splits it into
+  ``(arrays, values)`` — two flat ``{path: leaf}`` maps keyed by
+  ``/``-joined paths;
+- :func:`unflatten_state` rebuilds the original tree from those maps.
+
+Path encoding
+-------------
+Dict keys are percent-escaped (``%`` → ``%25``, ``/`` → ``%2F``) so keys
+containing the separator round-trip.  Lists are recorded with a
+``__list_len__`` marker value at the list's own path plus index-keyed
+children, which preserves both order and length (including empty lists).
+A subtree containing *no* array anywhere is stored whole as a single
+JSON value at its path — this keeps e.g. an RNG bit-generator state dict
+as one legible manifest entry instead of dozens of scalar rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["flatten_state", "unflatten_state", "StateError"]
+
+_LIST_LEN = "__list_len__"
+_SCALARS = (str, bool, int, float, type(None))
+
+
+class StateError(ValueError):
+    """A state tree violates the codec's leaf/container contract."""
+
+
+def _escape(key: str) -> str:
+    return key.replace("%", "%25").replace("/", "%2F")
+
+
+def _unescape(key: str) -> str:
+    return key.replace("%2F", "/").replace("%25", "%")
+
+
+def _check_key(key: Any) -> str:
+    if not isinstance(key, str):
+        raise StateError(f"state dict keys must be str, got {key!r}")
+    if key == _LIST_LEN:
+        raise StateError(f"state dict key {_LIST_LEN!r} is reserved")
+    return _escape(key)
+
+
+def _coerce_scalar(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def _contains_array(node: Any) -> bool:
+    if isinstance(node, np.ndarray):
+        return True
+    if isinstance(node, Mapping):
+        return any(_contains_array(v) for v in node.values())
+    if isinstance(node, (list, tuple)):
+        return any(_contains_array(v) for v in node)
+    return False
+
+
+def _check_json_tree(node: Any, path: str) -> Any:
+    """Validate (and numpy-coerce) an array-free subtree for the manifest."""
+    node = _coerce_scalar(node)
+    if isinstance(node, _SCALARS):
+        return node
+    if isinstance(node, Mapping):
+        out = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise StateError(f"non-str dict key {key!r} at {path!r}")
+            out[key] = _check_json_tree(value, f"{path}/{key}")
+        return out
+    if isinstance(node, (list, tuple)):
+        return [_check_json_tree(v, f"{path}[{i}]") for i, v in enumerate(node)]
+    raise StateError(f"unsupported leaf type {type(node).__name__} at {path!r}")
+
+
+def _check_array(arr: np.ndarray, path: str) -> np.ndarray:
+    if arr.dtype == object or arr.dtype.kind in "USV":
+        raise StateError(
+            f"array at {path!r} has non-numeric dtype {arr.dtype} "
+            "(store strings as JSON values, not arrays)"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def flatten_state(tree: Any) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Split a state tree into flat ``(arrays, values)`` path maps."""
+    arrays: dict[str, np.ndarray] = {}
+    values: dict[str, Any] = {}
+
+    def walk(node: Any, path: str) -> None:
+        if isinstance(node, np.ndarray):
+            arrays[path] = _check_array(node, path)
+            return
+        if isinstance(node, Mapping):
+            if not _contains_array(node):
+                values[path] = _check_json_tree(node, path)
+                return
+            for key, value in node.items():
+                walk(value, f"{path}/{_check_key(key)}" if path else _check_key(key))
+            return
+        if isinstance(node, (list, tuple)):
+            if not _contains_array(node):
+                values[path] = _check_json_tree(node, path)
+                return
+            values[f"{path}/{_LIST_LEN}"] = len(node)
+            for i, value in enumerate(node):
+                walk(value, f"{path}/{i}")
+            return
+        values[path] = _check_json_tree(node, path)
+
+    if not isinstance(tree, Mapping):
+        raise StateError(f"state tree root must be a dict, got {type(tree).__name__}")
+    for key, value in tree.items():
+        walk(value, _check_key(key))
+    return arrays, values
+
+
+def unflatten_state(
+    arrays: Mapping[str, np.ndarray], values: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Rebuild the nested state tree from flat ``(arrays, values)`` maps."""
+    root: dict[str, Any] = {}
+    list_paths: list[tuple[str, int]] = []
+
+    def insert(path: str, leaf: Any) -> None:
+        parts = path.split("/")
+        if parts[-1] == _LIST_LEN:
+            list_paths.append(("/".join(parts[:-1]), int(leaf)))
+            return
+        node = root
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise StateError(f"path conflict at {path!r}")
+        node[parts[-1]] = leaf
+
+    for path, leaf in values.items():
+        insert(path, leaf)
+    for path, arr in arrays.items():
+        insert(path, np.asarray(arr))
+
+    def fix(node: Any, path: str) -> Any:
+        if not isinstance(node, dict):
+            return node
+        length = lengths.get(path)
+        fixed = {k: fix(v, f"{path}/{k}" if path else k) for k, v in node.items()}
+        if length is None:
+            return {_unescape(k): v for k, v in fixed.items()}
+        out = []
+        for i in range(length):
+            key = str(i)
+            if key not in fixed:
+                raise StateError(f"list at {path!r} is missing index {i}")
+            out.append(fixed[key])
+        return out
+
+    lengths = dict(list_paths)
+    # A zero-element list leaves no child entries behind; materialise an
+    # empty container node so ``fix`` can turn it back into [].
+    for path, length in lengths.items():
+        if length == 0:
+            node = root
+            for part in path.split("/"):
+                node = node.setdefault(part, {})
+    return dict(fix(root, ""))

@@ -1,0 +1,146 @@
+"""Directory of checkpoints with retention and a JSON index.
+
+A :class:`CheckpointStore` owns one root directory and lays out
+checkpoints as ``ckpt-00000042/`` subdirectories (zero-padded step
+numbers, so lexicographic order equals step order).  Each ``save``
+writes the checkpoint atomically (see
+:mod:`repro.persist.checkpoint`), rewrites ``index.json`` (latest step,
+retained steps, per-step meta) and prunes the oldest checkpoints beyond
+``keep_last``.
+
+The directory scan — not the index — is authoritative for which steps
+exist: the index is a convenience for humans and dashboards and is
+rebuilt on every save, so a crash between the checkpoint rename and the
+index rewrite cannot lose state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import uuid
+from typing import Any, Mapping
+
+from repro.persist.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+
+__all__ = ["CheckpointStore", "INDEX_NAME"]
+
+INDEX_NAME = "index.json"
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})$")
+
+
+class CheckpointStore:
+    """Keep-last-K checkpoint directory with step addressing.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the checkpoints (created on first save).
+    keep_last:
+        How many most-recent checkpoints to retain; older ones are
+        deleted after each successful save.  ``None`` keeps everything.
+    """
+
+    def __init__(self, root: str, keep_last: int | None = 3) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1 or None, got {keep_last}")
+        self.root = os.path.abspath(root)
+        self.keep_last = keep_last
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> str:
+        if step < 0 or step > 99_999_999:
+            raise ValueError(f"step out of range: {step}")
+        return os.path.join(self.root, f"ckpt-{step:08d}")
+
+    def steps(self) -> list[int]:
+        """Steps present on disk, ascending (directory scan, not index)."""
+        if not os.path.isdir(self.root):
+            return []
+        found = []
+        for name in os.listdir(self.root):
+            match = _CKPT_RE.match(name)
+            if match and os.path.isfile(
+                os.path.join(self.root, name, "manifest.json")
+            ):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_step(self) -> int | None:
+        steps = self.steps()
+        return steps[-1] if steps else None
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        step: int,
+        state: Mapping[str, Any],
+        meta: Mapping[str, Any] | None = None,
+    ) -> str:
+        """Checkpoint *state* as *step*; prune and reindex.  Returns path."""
+        meta = dict(meta or {})
+        meta.setdefault("step", step)
+        path = self.path_for(step)
+        save_checkpoint(path, state, meta=meta)
+        self._prune()
+        self._write_index()
+        return path
+
+    def load(self, step: int | None = None, verify: bool = True):
+        """Load ``(state, manifest)`` for *step* (default: latest)."""
+        if step is None:
+            step = self.latest_step()
+            if step is None:
+                raise CheckpointError(f"no checkpoints in {self.root}")
+        path = self.path_for(step)
+        if not os.path.isdir(path):
+            raise CheckpointError(f"no checkpoint for step {step} in {self.root}")
+        return load_checkpoint(path, verify=verify)
+
+    def manifest(self, step: int) -> dict[str, Any]:
+        return read_manifest(self.path_for(step))
+
+    # ------------------------------------------------------------------
+    def _prune(self) -> None:
+        if self.keep_last is None:
+            return
+        steps = self.steps()
+        for step in steps[: -self.keep_last]:
+            shutil.rmtree(self.path_for(step), ignore_errors=True)
+
+    def _write_index(self) -> None:
+        steps = self.steps()
+        index = {
+            "latest_step": steps[-1] if steps else None,
+            "keep_last": self.keep_last,
+            "checkpoints": [
+                {
+                    "step": step,
+                    "path": f"ckpt-{step:08d}",
+                    "meta": read_manifest(self.path_for(step)).get("meta", {}),
+                }
+                for step in steps
+            ],
+        }
+        tmp = os.path.join(self.root, f".tmp-index-{uuid.uuid4().hex[:8]}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        os.replace(tmp, os.path.join(self.root, INDEX_NAME))
+
+    def index(self) -> dict[str, Any]:
+        """The last-written ``index.json`` (or a scan-built fallback)."""
+        path = os.path.join(self.root, INDEX_NAME)
+        if os.path.isfile(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        return {"latest_step": self.latest_step(), "keep_last": self.keep_last,
+                "checkpoints": []}

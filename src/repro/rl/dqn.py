@@ -165,3 +165,29 @@ class DQNAgent:
     def hidden_layer_groups(self) -> list[list[Parameter]]:
         """Per-layer parameter groups of the online network (for α-split)."""
         return self.qnet.hidden_layer_groups()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state_dict(self) -> dict:
+        """Everything mutable: nets, optimizer, replay, policy, counters."""
+        return {
+            "qnet": get_weights(self.qnet),
+            "target": get_weights(self.target),
+            "optimizer": self.optimizer.state_dict(),
+            "replay": self.replay.state_dict(),
+            "policy": self.policy.state_dict(),
+            "learn_steps": self.learn_steps,
+            "sgd_steps": self.sgd_steps,
+            "observed": self._observed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; training resumes bit-identically."""
+        set_weights(self.qnet, [np.asarray(w) for w in state["qnet"]])
+        set_weights(self.target, [np.asarray(w) for w in state["target"]])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.replay.load_state_dict(state["replay"])
+        self.policy.load_state_dict(state["policy"])
+        self.learn_steps = int(state["learn_steps"])
+        self.sgd_steps = int(state["sgd_steps"])
+        self._observed = int(state["observed"])

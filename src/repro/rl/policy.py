@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.rng import as_generator
+from repro.rng import as_generator, generator_state, restore_generator
 
 __all__ = ["EpsilonGreedy"]
 
@@ -56,3 +56,12 @@ class EpsilonGreedy:
 
     def reset(self) -> None:
         self._step = 0
+
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        return {"step": self._step, "rng": generator_state(self._rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self._step = int(state["step"])
+        restore_generator(self._rng, state["rng"])

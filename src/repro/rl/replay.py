@@ -10,7 +10,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rng import as_generator
+from repro.rng import as_generator, generator_state, restore_generator
 
 __all__ = ["Transition", "ReplayBuffer"]
 
@@ -106,3 +106,34 @@ class ReplayBuffer:
     def clear(self) -> None:
         self._size = 0
         self._head = 0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete mutable state as a checkpointable tree."""
+        """Full ring contents plus cursor and sampling-RNG state."""
+        return {
+            "states": self._states.copy(),
+            "actions": self._actions.copy(),
+            "rewards": self._rewards.copy(),
+            "next_states": self._next_states.copy(),
+            "dones": self._dones.copy(),
+            "size": self._size,
+            "head": self._head,
+            "rng": generator_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        states = np.asarray(state["states"], dtype=np.float64)
+        if states.shape != self._states.shape:
+            raise ValueError(
+                f"replay shape mismatch: {states.shape} vs {self._states.shape}"
+            )
+        self._states[...] = states
+        self._actions[...] = np.asarray(state["actions"], dtype=np.int64)
+        self._rewards[...] = np.asarray(state["rewards"], dtype=np.float64)
+        self._next_states[...] = np.asarray(state["next_states"], dtype=np.float64)
+        self._dones[...] = np.asarray(state["dones"], dtype=bool)
+        self._size = int(state["size"])
+        self._head = int(state["head"])
+        restore_generator(self._rng, state["rng"])

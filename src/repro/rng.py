@@ -20,6 +20,8 @@ __all__ = [
     "spawn",
     "spawn_many",
     "hash_seed",
+    "generator_state",
+    "restore_generator",
 ]
 
 
@@ -76,6 +78,42 @@ def hash_seed(master: int, *parts: int | str) -> int:
             val = np.uint64(int(part) % 2**64)
         acc = np.uint64((int(acc) * 0x9E3779B97F4A7C15 + int(val)) % 2**64)
     return int(acc) & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def _copy_state(node):
+    """Deep-copy a bit-generator state tree (dicts / ndarrays / scalars)."""
+    if isinstance(node, dict):
+        return {k: _copy_state(v) for k, v in node.items()}
+    if isinstance(node, np.ndarray):
+        return node.copy()
+    return node
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Capture the complete bit-generator state of *rng*.
+
+    The returned dict is a deep copy (mutating it, or drawing from *rng*
+    afterwards, does not affect the snapshot) and is JSON-serialisable for
+    the common bit generators — PCG64 exposes its 128-bit state as Python
+    ints, which ``json`` handles natively.
+    """
+    return _copy_state(rng.bit_generator.state)
+
+
+def restore_generator(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore *rng* to a state captured by :func:`generator_state`.
+
+    The bit-generator family must match (a PCG64 state cannot be loaded
+    into an MT19937 generator).  Returns *rng* for chaining.
+    """
+    name = state.get("bit_generator") if isinstance(state, dict) else None
+    current = rng.bit_generator.state.get("bit_generator")
+    if name is not None and current is not None and name != current:
+        raise ValueError(
+            f"bit-generator mismatch: snapshot is {name!r}, generator is {current!r}"
+        )
+    rng.bit_generator.state = _copy_state(state)
+    return rng
 
 
 def check_rngs_independent(rngs: Sequence[np.random.Generator], n_draws: int = 8) -> bool:

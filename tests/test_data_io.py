@@ -31,6 +31,35 @@ class TestNpzRoundtrip:
                 assert a[dev].standby_kw == pytest.approx(b[dev].standby_kw)
 
 
+class TestNpzMetaEscaping:
+    def test_comma_in_device_name_roundtrips(self, tmp_path):
+        """Regression: meta rows were comma-joined, so a device name
+        containing a comma corrupted every later field on load."""
+        from repro.data.dataset import DeviceTrace, NeighborhoodDataset, ResidenceData
+
+        trace = DeviceTrace(
+            device="tv, living room",
+            power_kw=np.linspace(0.0, 0.2, 240),
+            mode=np.ones(240, dtype=np.int8),
+            on_kw=0.2,
+            standby_kw=0.01,
+        )
+        ds = NeighborhoodDataset(
+            residences=[
+                ResidenceData(residence_id=0, traces={"tv, living room": trace})
+            ],
+            minutes_per_day=240,
+        )
+        path = tmp_path / "comma.npz"
+        save_npz(ds, path)
+        loaded = load_npz(path)
+        back = loaded[0]["tv, living room"]
+        assert back.device == "tv, living room"
+        assert np.array_equal(back.power_kw, trace.power_kw)
+        assert back.on_kw == pytest.approx(0.2)
+        assert back.standby_kw == pytest.approx(0.01)
+
+
 class TestCsvRoundtrip:
     def test_row_count(self, dataset, tmp_path):
         path = tmp_path / "ds.csv"

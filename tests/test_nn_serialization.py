@@ -97,6 +97,17 @@ class TestFlatten:
     def test_empty(self):
         assert flatten_weights([]).shape == (0,)
 
+    def test_unflatten_returns_copies(self, model):
+        """Regression: unflatten_weights once returned views into the
+        vector, so mutating one leaked into the other."""
+        w = get_weights(model)
+        vec = flatten_weights(w)
+        back = unflatten_weights(vec, w)
+        vec[...] = 0.0
+        assert weights_allclose(back, w)
+        back[0][...] = 123.0
+        assert not np.any(vec == 123.0)
+
 
 class TestCountsAndGroups:
     def test_count_matches_model(self, model):

@@ -1,0 +1,239 @@
+"""Crash-resume equivalence: the headline guarantee of ``repro.persist``.
+
+Interrupt a run at an arbitrary day, restore the checkpoint into a fresh
+process-equivalent object graph, continue — and land on bit-identical
+results: the same trainer states, the same ``SystemResult``, the same
+journal (modulo wall-clock fields).  Also covers the fault-fabric
+recovery mode where churned agents reboot from their last snapshot.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DataConfig,
+    DQNConfig,
+    FaultConfig,
+    ForecastConfig,
+    PFDRLConfig,
+)
+from repro.core import PFDRLSystem
+from repro.core.streams import build_streams
+from repro.federated.dfl import DFLTrainer
+from repro.obs import RunJournal, Telemetry
+from repro.persist import (
+    CheckpointError,
+    CheckpointStore,
+    TrainingInterrupted,
+    flatten_state,
+    unflatten_state,
+)
+
+
+def deep_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        return (
+            a.shape == b.shape
+            and np.array_equal(a, b, equal_nan=a.dtype.kind == "f")
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(deep_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(deep_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def through_codec(state):
+    arrays, values = flatten_state(state)
+    return unflatten_state(arrays, values)
+
+
+def make_config(faults=None, seed=0):
+    return PFDRLConfig(
+        data=DataConfig(n_residences=3, n_days=4, minutes_per_day=240, seed=5),
+        forecast=ForecastConfig(model="lr", window=10, horizon=10),
+        dqn=DQNConfig(hidden_width=16),
+        episodes=2,
+        seed=seed,
+        faults=faults,
+    )
+
+
+def make_dfl(config):
+    from repro.data.generator import generate_neighborhood
+
+    dataset = generate_neighborhood(config.data)
+    return dataset, DFLTrainer(
+        dataset,
+        forecast_config=config.forecast,
+        federation_config=config.federation,
+        seed=config.seed,
+        fault_config=config.faults,
+    )
+
+
+class TestTrainerResume:
+    def test_dfl_trainer_resume_bit_identical(self):
+        config = make_config()
+        _, full = make_dfl(config)
+        full.run(3)
+
+        _, part = make_dfl(config)
+        part.run(2)
+        snap = through_codec(part.state())
+        _, resumed = make_dfl(config)
+        resumed.restore(snap)
+        resumed.run(1)
+
+        assert deep_equal(resumed.state(), full.state())
+
+    def test_pfdrl_trainer_resume_bit_identical(self):
+        from repro.core.pfdrl import PFDRLTrainer
+
+        config = make_config()
+
+        def make_drl():
+            dataset, dfl = make_dfl(config)
+            dfl.run(3)
+            streams = build_streams(dataset.slice_days(0, 3), dfl, t0=0)
+            return PFDRLTrainer(
+                streams,
+                dqn_config=config.dqn,
+                federation_config=config.federation,
+                seed=config.seed,
+            )
+
+        full = make_drl()
+        for _ in range(3):
+            full.run_day()
+
+        part = make_drl()
+        part.run_day()
+        snap = through_codec(part.state())
+        resumed = make_drl()
+        resumed.restore(snap)
+        for _ in range(2):
+            resumed.run_day()
+
+        assert deep_equal(resumed.state(), full.state())
+
+
+class TestSystemResume:
+    @pytest.mark.parametrize("stop_after", [2, 5])
+    def test_interrupt_resume_matches_uninterrupted(self, tmp_path, stop_after):
+        full = PFDRLSystem(make_config()).run()
+
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            PFDRLSystem(make_config()).run(
+                checkpoint_store=store, stop_after_step=stop_after
+            )
+        assert exc_info.value.step == stop_after
+        assert store.latest_step() == stop_after
+
+        resumed = PFDRLSystem(make_config()).run(
+            checkpoint_store=store, resume=True
+        )
+        assert deep_equal(full.to_dict(), resumed.to_dict())
+
+    def test_journal_identical_modulo_wallclock(self, tmp_path):
+        j_full = RunJournal()
+        full = PFDRLSystem(
+            make_config(), telemetry=Telemetry(journal=j_full)
+        ).run()
+
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted):
+            PFDRLSystem(
+                make_config(), telemetry=Telemetry(journal=RunJournal())
+            ).run(checkpoint_store=store, stop_after_step=4)
+        j_res = RunJournal()
+        resumed = PFDRLSystem(
+            make_config(), telemetry=Telemetry(journal=j_res)
+        ).run(checkpoint_store=store, resume=True)
+
+        assert deep_equal(full.to_dict(), resumed.to_dict())
+        assert j_full.deterministic_view() == j_res.deterministic_view()
+
+    def test_config_digest_guard(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted):
+            PFDRLSystem(make_config(seed=0)).run(
+                checkpoint_store=store, stop_after_step=2
+            )
+        with pytest.raises(CheckpointError):
+            PFDRLSystem(make_config(seed=1)).resume_from(store)
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(ValueError):
+            PFDRLSystem(make_config()).run(resume=True)
+
+    def test_resume_on_empty_store_runs_from_scratch(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=2)
+        full = PFDRLSystem(make_config()).run()
+        resumed = PFDRLSystem(make_config()).run(
+            checkpoint_store=store, resume=True
+        )
+        assert deep_equal(full.to_dict(), resumed.to_dict())
+        assert store.latest_step() is not None  # checkpoints were written
+
+
+class TestFaultyResume:
+    def test_faulty_run_resume_bit_identical(self, tmp_path):
+        faults = FaultConfig(crash_rate=0.2, recovery_rate=0.6, seed=11)
+        full = PFDRLSystem(make_config(faults)).run()
+
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted):
+            PFDRLSystem(make_config(faults)).run(
+                checkpoint_store=store, stop_after_step=5
+            )
+        resumed = PFDRLSystem(make_config(faults)).run(
+            checkpoint_store=store, resume=True
+        )
+        assert deep_equal(full.to_dict(), resumed.to_dict())
+
+    def test_recovery_mode_counts_restores(self):
+        faults = FaultConfig(
+            crash_rate=0.3,
+            recovery_rate=0.7,
+            recover_from_snapshot=True,
+            seed=11,
+        )
+        telemetry = Telemetry()
+        PFDRLSystem(make_config(faults), telemetry=telemetry).run()
+        n_restores = telemetry.counters.get(
+            "dfl.recovery.restores", 0
+        ) + telemetry.counters.get("pfdrl.recovery.restores", 0)
+        assert n_restores >= 1
+        # TransportStats mirrors the count into the transport gauges.
+        gauges = [
+            v
+            for k, v in telemetry.gauges.items()
+            if k.endswith(".n_restores")
+        ]
+        assert gauges and max(gauges) >= 1
+
+    def test_recovery_mode_resume_bit_identical(self, tmp_path):
+        faults = FaultConfig(
+            crash_rate=0.3,
+            recovery_rate=0.7,
+            recover_from_snapshot=True,
+            seed=11,
+        )
+        full = PFDRLSystem(make_config(faults)).run()
+
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted):
+            PFDRLSystem(make_config(faults)).run(
+                checkpoint_store=store, stop_after_step=4
+            )
+        resumed = PFDRLSystem(make_config(faults)).run(
+            checkpoint_store=store, resume=True
+        )
+        assert deep_equal(full.to_dict(), resumed.to_dict())

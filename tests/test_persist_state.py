@@ -1,0 +1,174 @@
+"""Tests for the checkpoint subsystem core: codec, format, store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.persist import (
+    FORMAT_VERSION,
+    CheckpointError,
+    CheckpointStore,
+    StateError,
+    TrainingInterrupted,
+    flatten_state,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+    unflatten_state,
+)
+
+
+def deep_equal(a, b):
+    """Structural equality with NaN==NaN and exact array compare."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and np.array_equal(a, b, equal_nan=a.dtype.kind == "f")
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return (np.isnan(a) and np.isnan(b)) or a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(deep_equal(a[k], b[k]) for k in a)
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(deep_equal(x, y) for x, y in zip(a, b))
+    return type(a) is type(b) and a == b
+
+
+class TestStateCodec:
+    def test_roundtrip_nested(self):
+        tree = {
+            "weights": [np.arange(6, dtype=np.float64).reshape(2, 3), np.zeros(2)],
+            "step": 17,
+            "nested": {"flag": True, "name": "agent-3", "lr": 0.05},
+            "history": [1.0, float("nan"), 3.5],
+        }
+        arrays, values = flatten_state(tree)
+        assert deep_equal(unflatten_state(arrays, values), tree)
+
+    def test_roundtrip_tricky_keys(self):
+        # "/" is the path separator and "%" the escape char — both must
+        # survive as dict keys, including alongside arrays.
+        tree = {
+            "a/b": {"50%": np.ones(3)},
+            "plain": {"x/y%z": 1},
+        }
+        arrays, values = flatten_state(tree)
+        assert deep_equal(unflatten_state(arrays, values), tree)
+
+    def test_roundtrip_empty_containers(self):
+        tree = {"empty_list": [], "empty_dict": {}, "mixed": [[], {"a": []}]}
+        arrays, values = flatten_state(tree)
+        assert deep_equal(unflatten_state(arrays, values), tree)
+
+    def test_rng_state_roundtrips(self):
+        rng = np.random.default_rng(7)
+        rng.random(13)
+        tree = {"rng": rng.bit_generator.state}
+        arrays, values = flatten_state(tree)
+        back = unflatten_state(arrays, values)
+        rng2 = np.random.default_rng(0)
+        rng2.bit_generator.state = back["rng"]
+        expected = np.random.default_rng(7)
+        expected.random(13)
+        assert rng2.random() == expected.random()
+
+    def test_rejects_object_arrays(self):
+        with pytest.raises(StateError):
+            flatten_state({"bad": np.array([object()])})
+
+    def test_rejects_non_str_keys(self):
+        with pytest.raises(StateError):
+            flatten_state({1: np.zeros(2)})
+
+    def test_rejects_reserved_key(self):
+        with pytest.raises(StateError):
+            flatten_state({"__list_len__": [np.zeros(1)]})
+
+
+class TestCheckpointFormat:
+    def _state(self):
+        return {"w": np.linspace(0, 1, 5), "meta": {"step": 3, "loss": float("nan")}}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt"
+        save_checkpoint(path, self._state(), meta={"day": 3})
+        state, manifest = load_checkpoint(path)
+        assert deep_equal(state, self._state())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert manifest["meta"]["day"] == 3
+
+    def test_atomic_overwrite(self, tmp_path):
+        path = tmp_path / "ckpt"
+        save_checkpoint(path, {"v": np.array([1.0])})
+        save_checkpoint(path, {"v": np.array([2.0])})
+        state, _ = load_checkpoint(path)
+        assert state["v"][0] == 2.0
+        # No stray temp directories left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt"]
+
+    def test_checksum_detects_tamper(self, tmp_path):
+        path = tmp_path / "ckpt"
+        save_checkpoint(path, self._state())
+        manifest = json.loads((path / "manifest.json").read_text())
+        next(iter(manifest["arrays"].values()))["sha256"] = "0" * 64
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        # verify=False skips the checksum pass.
+        state, _ = load_checkpoint(path, verify=False)
+        assert deep_equal(state, self._state())
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "ckpt"
+        save_checkpoint(path, self._state())
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError):
+            read_manifest(path)
+
+
+class TestCheckpointStore:
+    def test_retention_keeps_last_k(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=2)
+        for step in (1, 2, 3, 4):
+            store.save(step, {"s": np.array([float(step)])})
+        assert store.steps() == [3, 4]
+        assert store.latest_step() == 4
+
+    def test_load_latest_and_specific(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=3)
+        for step in (5, 9):
+            store.save(step, {"s": np.array([float(step)])})
+        state, manifest = store.load()
+        assert state["s"][0] == 9.0
+        assert manifest["meta"]["step"] == 9
+        state5, _ = store.load(step=5)
+        assert state5["s"][0] == 5.0
+
+    def test_index_written(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=3)
+        store.save(7, {"s": np.zeros(1)})
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["latest_step"] == 7
+        assert [c["step"] for c in index["checkpoints"]] == [7]
+
+    def test_empty_store(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.latest_step() is None
+        with pytest.raises(CheckpointError):
+            store.load()
+
+
+class TestTrainingInterrupted:
+    def test_carries_step(self):
+        exc = TrainingInterrupted(12)
+        assert exc.step == 12
