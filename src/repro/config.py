@@ -311,7 +311,18 @@ class PFDRLConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     #: DRL training episodes per device before evaluation.
     episodes: int = 3
+    #: Run the EMS training loop through the batched minute-major engine
+    #: (``repro.rl.batch``).  Bit-identical in device scope; aggregate-
+    #: equivalent in residence scope, hence off by default.
+    ems_batched: bool = False
+    #: Process-parallel residence sharding for EMS training segments
+    #: (> 1 enables it; exact in both agent scopes).
+    ems_workers: int = 1
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ems_workers < 1:
+            raise ValueError("ems_workers must be >= 1")
 
     def replace(self, **kwargs: Any) -> "PFDRLConfig":
         """Return a copy with top-level fields replaced."""

@@ -32,8 +32,11 @@ from repro.federated.server import CentralServer
 from repro.federated.topology import make_topology
 from repro.metrics.energy import saved_energy_kwh, standby_energy_kwh
 from repro.obs.telemetry import Telemetry, ensure_telemetry
+from repro.parallel import ParallelConfig, parallel_map
+from repro.rl.batch import BatchedEpisodeEngine, greedy_rollout, train_residence_segment
 from repro.rl.dqn import DQNAgent
 from repro.rl.env import DeviceEnv
+from repro.rl.reward import reward_vector
 from repro.rng import hash_seed
 
 __all__ = ["PFDRLTrainer", "PFDRLDayResult", "EMSEvaluation"]
@@ -116,6 +119,8 @@ class PFDRLTrainer:
         seed: int = 0,
         fault_config: FaultConfig | None = None,
         telemetry: Telemetry | None = None,
+        batched: bool = False,
+        n_workers: int = 1,
     ) -> None:
         if sharing not in SHARING_MODES:
             raise ValueError(f"sharing must be one of {SHARING_MODES}")
@@ -123,6 +128,8 @@ class PFDRLTrainer:
             raise ValueError("agent_scope must be 'residence' or 'device'")
         if not streams:
             raise ValueError("need at least one residence stream")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
         self.streams = streams
         self.dqn_config = dqn_config or DQNConfig()
         self.federation_config = federation_config or FederationConfig()
@@ -132,6 +139,20 @@ class PFDRLTrainer:
         self.minutes_per_day = streams[0].minutes_per_day
         #: Episode length: one simulated hour.
         self.horizon = max(1, self.minutes_per_day // 24)
+        #: Batched hot path: step all (residence, device) envs minute-major
+        #: with one stacked Q-net forward per minute.  Bit-identical to the
+        #: serial loop in device scope; aggregate-equivalent (devices of a
+        #: residence interleave minute-major instead of running episode
+        #: after episode) in residence scope — hence opt-in.
+        self.batched = bool(batched)
+        #: Process-parallel residence sharding for training segments
+        #: (> 1 enables it; residences are independent between share
+        #: rounds, so sharding is exact in both agent scopes).
+        self.n_workers = int(n_workers)
+        self._engine: BatchedEpisodeEngine | None = None
+        self._pool_config = ParallelConfig(
+            n_workers=self.n_workers, min_tasks_per_worker=1
+        )
 
         alpha = self.federation_config.alpha
         if sharing == "full":
@@ -256,29 +277,16 @@ class PFDRLTrainer:
             if tel
             else {}
         )
-        # Same boundary convention as the DFL trainer: the midnight event
-        # belongs to the next day's range.
-        day_events = set(self.scheduler.events_in(start, stop).tolist())
-        for lo in range(start, stop, self.horizon):
-            hi = min(lo + self.horizon, stop)
-            if hi - lo < 2:
-                continue
-            with tel.timer("pfdrl.train"):
-                for stream in self.streams:
-                    for dev_stream in stream.devices.values():
-                        agent = self.agent_for(stream.residence_id, dev_stream.device)
-                        chunk = dev_stream.slice(lo, hi)
-                        env = DeviceEnv(
-                            chunk.predicted_kw,
-                            chunk.real_kw,
-                            chunk.on_kw,
-                            chunk.standby_kw,
-                            ground_truth_mode=chunk.mode,
-                            device=chunk.device,
-                        )
-                        rewards.append(agent.run_episode(env, learn=True))
-                        optima.append(env.max_episode_reward())
-            if any(lo < e <= hi for e in day_events):
+        # Same boundary convention as the DFL trainer: segment the day at
+        # the scheduled events and fire one share round per event (a
+        # midnight event — e == start — owns an empty leading segment).
+        events = self.scheduler.events_in(start, stop).tolist()
+        boundaries = [start, *events, stop]
+        for seg_lo, seg_hi in zip(boundaries[:-1], boundaries[1:]):
+            if seg_hi > seg_lo:
+                with tel.timer("pfdrl.train"):
+                    self._train_segment(seg_lo, seg_hi, rewards, optima)
+            if seg_hi in events:
                 round_t0 = tel.now()
                 round_params = self._params_broadcast
                 round_quorum = self.bus.stats.n_quorum_skips
@@ -334,6 +342,102 @@ class PFDRLTrainer:
             tel.add_work("pfdrl.share", params_tx=result.params_broadcast)
             tel.record_transport(self.bus.stats, prefix="pfdrl.transport")
         return result
+
+    # ------------------------------------------------------------------
+    # Training-segment execution (one share interval)
+    def _train_segment(
+        self, seg_lo: int, seg_hi: int, rewards: list[float], optima: list[float]
+    ) -> None:
+        """Hour-long episodes per (residence, device) over [seg_lo, seg_hi).
+
+        Dispatches to the process-parallel residence sharding when
+        ``n_workers > 1``, to the minute-major batched engine when
+        ``batched``, and to the reference serial loop otherwise.
+        """
+        if self.n_workers > 1 and len(self.streams) > 1:
+            self._train_segment_parallel(seg_lo, seg_hi, rewards, optima)
+        elif self.batched:
+            self._train_segment_batched(seg_lo, seg_hi, rewards, optima)
+        else:
+            self._train_segment_serial(seg_lo, seg_hi, rewards, optima)
+
+    def _episode_env(self, dev_stream, lo: int, hi: int) -> DeviceEnv:
+        chunk = dev_stream.slice(lo, hi)
+        return DeviceEnv(
+            chunk.predicted_kw,
+            chunk.real_kw,
+            chunk.on_kw,
+            chunk.standby_kw,
+            ground_truth_mode=chunk.mode,
+            device=chunk.device,
+        )
+
+    def _train_segment_serial(
+        self, seg_lo: int, seg_hi: int, rewards: list[float], optima: list[float]
+    ) -> None:
+        for lo in range(seg_lo, seg_hi, self.horizon):
+            hi = min(lo + self.horizon, seg_hi)
+            if hi - lo < 2:
+                continue
+            for stream in self.streams:
+                for dev_stream in stream.devices.values():
+                    agent = self.agent_for(stream.residence_id, dev_stream.device)
+                    env = self._episode_env(dev_stream, lo, hi)
+                    rewards.append(agent.run_episode(env, learn=True))
+                    optima.append(env.max_episode_reward())
+
+    def _train_segment_batched(
+        self, seg_lo: int, seg_hi: int, rewards: list[float], optima: list[float]
+    ) -> None:
+        if self._engine is None:
+            self._engine = BatchedEpisodeEngine(self._share_groups, self._agents)
+        for lo in range(seg_lo, seg_hi, self.horizon):
+            hi = min(lo + self.horizon, seg_hi)
+            if hi - lo < 2:
+                continue
+            pairs = []
+            for stream in self.streams:
+                for dev_stream in stream.devices.values():
+                    slot = "*" if self.agent_scope == "residence" else dev_stream.device
+                    pairs.append(
+                        (
+                            (stream.residence_id, slot),
+                            self._episode_env(dev_stream, lo, hi),
+                        )
+                    )
+            chunk_rewards, chunk_optima = self._engine.run_chunk(pairs)
+            rewards.extend(chunk_rewards)
+            optima.extend(chunk_optima)
+
+    def _train_segment_parallel(
+        self, seg_lo: int, seg_hi: int, rewards: list[float], optima: list[float]
+    ) -> None:
+        """Shard the segment's residences across worker processes.
+
+        Each worker trains one residence's agents serially over the whole
+        segment and ships their ``state_dict``s back; loading them is
+        in-place, so personalization managers (and any batched-engine
+        arena views) stay bound.  Per-agent trajectories are identical to
+        the serial loop; only the order of the per-episode reward list
+        changes (residence-major instead of chunk-major), which no
+        consumer depends on (the day result reduces it to sums/means of
+        exact Table-1 integers).
+        """
+        tasks = []
+        for stream in self.streams:
+            slots = (
+                ("*",) if self.agent_scope == "residence" else tuple(stream.devices)
+            )
+            agents = {
+                slot: self._agents[(stream.residence_id, slot)] for slot in slots
+            }
+            tasks.append((agents, stream.slice(seg_lo, seg_hi), self.horizon))
+        results = parallel_map(train_residence_segment, tasks, self._pool_config)
+        for stream, (seg_rewards, seg_optima, states) in zip(self.streams, results):
+            for slot, state in states.items():
+                self._agents[(stream.residence_id, slot)].load_state_dict(state)
+            rewards.extend(seg_rewards)
+            optima.extend(seg_optima)
 
     def run(self, n_days: int) -> list[PFDRLDayResult]:
         """Train *n_days* consecutive days, returning per-day results."""
@@ -497,8 +601,20 @@ class PFDRLTrainer:
                 self._agent_snapshots.setdefault(rid, {})[slot] = agent.state_dict()
 
     # ------------------------------------------------------------------
-    def evaluate(self, eval_streams: list[ResidenceStream] | None = None) -> EMSEvaluation:
-        """Greedy rollout over *eval_streams* (default: the training streams)."""
+    def evaluate(
+        self,
+        eval_streams: list[ResidenceStream] | None = None,
+        vectorized: bool = True,
+    ) -> EMSEvaluation:
+        """Greedy rollout over *eval_streams* (default: the training streams).
+
+        ``vectorized`` (the default) replaces the per-minute act/step
+        loop with one Q-net forward over each device's full state matrix
+        (:func:`repro.rl.batch.greedy_rollout`); the per-chunk metric
+        accumulation is shared with the serial reference path, so the
+        returned ``EMSEvaluation`` arrays are bit-identical either way
+        (pinned by tests and ``benchmarks/bench_hotpath.py``).
+        """
         streams = eval_streams if eval_streams is not None else self.streams
         n_res = len(streams)
         if n_res != len(self.streams):
@@ -516,22 +632,35 @@ class PFDRLTrainer:
         for ri, stream in enumerate(streams):
             for dev_stream in stream.devices.values():
                 agent = self.agent_for(stream.residence_id, dev_stream.device)
+                if vectorized:
+                    _, controlled_all, rewards_min = greedy_rollout(
+                        agent.qnet, dev_stream
+                    )
+                    optimal = dev_stream.mode.astype(np.int64)
+                    optimal = np.where(optimal == 1, 0, optimal)  # kill standby
+                    opt_min = reward_vector(dev_stream.mode, optimal)
                 for lo in range(0, n_min, self.horizon):
                     hi = min(lo + self.horizon, n_min)
                     if hi - lo < 1:
                         continue
                     chunk = dev_stream.slice(lo, hi)
-                    env = DeviceEnv(
-                        chunk.predicted_kw,
-                        chunk.real_kw,
-                        chunk.on_kw,
-                        chunk.standby_kw,
-                        ground_truth_mode=chunk.mode,
-                        device=chunk.device,
-                    )
-                    r, controlled = agent.evaluate_episode(env)
+                    if vectorized:
+                        controlled = controlled_all[lo:hi]
+                        r = float(rewards_min[lo:hi].sum())
+                        r_opt = float(opt_min[lo:hi].sum())
+                    else:
+                        env = DeviceEnv(
+                            chunk.predicted_kw,
+                            chunk.real_kw,
+                            chunk.on_kw,
+                            chunk.standby_kw,
+                            ground_truth_mode=chunk.mode,
+                            device=chunk.device,
+                        )
+                        r, controlled = agent.evaluate_episode(env)
+                        r_opt = env.max_episode_reward()
                     rew[ri] += r
-                    opt[ri] += env.max_episode_reward()
+                    opt[ri] += r_opt
                     delta = chunk.real_kw - controlled
                     saved_kw[ri, lo:hi] += delta
                     standby_mask = chunk.mode == 1

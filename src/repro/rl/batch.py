@@ -1,0 +1,264 @@
+"""Batched hot-path execution for the EMS training/evaluation loops.
+
+The trainer's inner loop is the repo's hottest path: every simulated
+minute does one Q-net forward per (residence, device) pair, each a
+batch-of-1 matrix product.  This module provides three accelerations
+that keep the per-agent semantics intact:
+
+- :class:`StackedQNet` — a zero-copy *parameter arena* over N
+  same-architecture Q-networks.  All weight mutations in this codebase
+  are in-place (``Adam.step`` subtracts into ``Parameter.data``,
+  ``set_weights`` assigns with ``[...]``), so each agent's parameters
+  can be rebound to views of stacked ``(N, in, out)`` tensors: the
+  stacked weights are always current and one broadcast ``matmul`` per
+  minute evaluates every agent at once.
+- :class:`BatchedEpisodeEngine` — minute-major episode stepping over
+  many (agent, env) pairs.  Replay pushes, learn triggers, and policy
+  RNG draws all stay per-agent and in per-agent order.
+- :func:`greedy_rollout` / :func:`train_residence_segment` — the
+  matrix-only greedy evaluation rollout and the picklable worker for
+  process-parallel residence sharding.
+
+Bitwise-identity contract (verified by ``tests/test_rl_batch.py``):
+``np.matmul`` over stacked operands ``(M, 1, d) @ (M, d, h)`` computes
+each item exactly as the serial ``(1, d) @ (d, h)`` product, so batched
+*training* action selection reproduces the serial Q-values bit-for-bit.
+A single large gemm ``(T, d) @ (d, h)`` — used by greedy *evaluation* —
+is not row-bitwise-stable in general, but greedy evaluation only
+consumes ``argmax`` of the Q-rows and Table-1 rewards are exact
+integers, so the resulting ``EMSEvaluation`` arrays match the serial
+rollout bit-for-bit (asserted in tests and ``benchmarks/bench_hotpath.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.dqn import DQNAgent
+from repro.rl.env import DeviceEnv
+from repro.rl.qnet import build_states
+from repro.rl.reward import reward_vector
+
+__all__ = [
+    "StackedQNet",
+    "BatchedEpisodeEngine",
+    "greedy_rollout",
+    "train_residence_segment",
+]
+
+
+class StackedQNet:
+    """Parameter arena + broadcast-batched forward over N Q-networks.
+
+    All member networks must share one architecture.  On construction
+    each network's ``Parameter.data`` is rebound (in place, value-
+    preserving) to a view of the stacked per-layer tensors, so later
+    in-place updates — optimizer steps, federated ``set_weights`` —
+    write straight through to the stack with no copying or syncing.
+    """
+
+    def __init__(self, qnets: list) -> None:
+        if not qnets:
+            raise ValueError("need at least one network to stack")
+        ref = qnets[0]
+        for qn in qnets[1:]:
+            if (
+                qn.in_dim != ref.in_dim
+                or qn.out_dim != ref.out_dim
+                or qn.hidden_sizes != ref.hidden_sizes
+            ):
+                raise ValueError("all stacked networks must share one architecture")
+        self.qnets = list(qnets)
+        self.in_dim = int(ref.in_dim)
+        self.out_dim = int(ref.out_dim)
+        #: (N, fan_in, fan_out) weight and (N, fan_out) bias per layer.
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for j in range(len(ref._linears)):
+            self._weights.append(np.stack([qn._linears[j].W.data for qn in qnets]))
+            self._biases.append(np.stack([qn._linears[j].b.data for qn in qnets]))
+        self._adopt()
+
+    @property
+    def n(self) -> int:
+        return len(self.qnets)
+
+    def _adopt(self) -> None:
+        for j, (W, b) in enumerate(zip(self._weights, self._biases)):
+            for i, qn in enumerate(self.qnets):
+                lin = qn._linears[j]
+                lin.W.data = W[i]
+                lin.b.data = b[i]
+
+    def ensure_adopted(self) -> None:
+        """Re-adopt any parameter that was rebound to a fresh array.
+
+        Nothing in the repo rebinds ``Parameter.data`` today, but a
+        defensive re-adoption (values copied into the stack, view bound
+        back) keeps the arena correct if some future code path does.
+        """
+        for j, (W, b) in enumerate(zip(self._weights, self._biases)):
+            for i, qn in enumerate(self.qnets):
+                lin = qn._linears[j]
+                if lin.W.data.base is not W:
+                    W[i, ...] = lin.W.data
+                    lin.W.data = W[i]
+                if lin.b.data.base is not b:
+                    b[i, ...] = lin.b.data
+                    lin.b.data = b[i]
+
+    def forward(self, states: np.ndarray, rows: np.ndarray | None = None) -> np.ndarray:
+        """Per-network forward: row ``i`` of *states* through network ``i``.
+
+        ``rows`` selects which stacked network evaluates each state
+        (defaults to ``0..n-1``, requiring ``states.shape[0] == n``).
+        Uses broadcast ``matmul`` of ``(M, 1, d) @ (M, d, h)`` so each
+        item is computed exactly as the serial batch-of-1 product.
+        """
+        h = np.asarray(states, dtype=np.float64)[:, None, :]
+        last = len(self._weights) - 1
+        for j, (W, b) in enumerate(zip(self._weights, self._biases)):
+            if rows is not None:
+                W = W[rows]
+                b = b[rows]
+            h = np.matmul(h, W) + b[:, None, :]
+            if j < last:
+                h = np.where(h > 0, h, 0.0)  # ReLU, as in nn.activations
+        return h[:, 0, :]
+
+
+class BatchedEpisodeEngine:
+    """Minute-major batched episode stepping for a set of DQN agents.
+
+    Construction groups the agents exactly as the trainer's federation
+    share groups do — one :class:`StackedQNet` per slot (``"*"`` in
+    residence scope, one per device type in device scope).  The arena
+    views stay bound for the trainer's lifetime, so share rounds and
+    checkpoint restores (both in-place) need no re-sync.
+    """
+
+    def __init__(
+        self,
+        share_groups: list[list[tuple[int, str]]],
+        agents: dict[tuple[int, str], DQNAgent],
+    ) -> None:
+        self._agents = agents
+        self._stacks: dict[str, StackedQNet] = {}
+        self._row: dict[tuple[int, str], int] = {}
+        for group in share_groups:
+            slot = group[0][1]
+            self._stacks[slot] = StackedQNet([agents[key].qnet for key in group])
+            for i, key in enumerate(group):
+                self._row[key] = i
+
+    def run_chunk(
+        self, pairs: list[tuple[tuple[int, str], DeviceEnv]]
+    ) -> tuple[list[float], list[float]]:
+        """Step every (agent key, env) pair minute-major through one chunk.
+
+        All envs must share one horizon (aligned streams guarantee it).
+        Per pair, the observation order seen by its agent — act, step,
+        observe at t = 0..T-1 — is identical to the serial
+        ``run_episode`` loop; only the interleaving *between* pairs
+        changes.  Returns (episode rewards, optimal rewards) in pair
+        order, matching the serial loop's bookkeeping order.
+        """
+        if not pairs:
+            return [], []
+        for stack in self._stacks.values():
+            stack.ensure_adopted()
+        horizon = pairs[0][1].horizon
+        # Group pair indices by slot so each group hits one stack.
+        by_slot: dict[str, list[int]] = {}
+        for idx, (key, env) in enumerate(pairs):
+            if env.horizon != horizon:
+                raise ValueError("all envs in a batched chunk must share one horizon")
+            by_slot.setdefault(key[1], []).append(idx)
+        states = [env.reset() for _, env in pairs]
+        totals = [0.0] * len(pairs)
+        row_sel: dict[str, np.ndarray | None] = {}
+        for slot, idxs in by_slot.items():
+            rows = [self._row[pairs[i][0]] for i in idxs]
+            row_sel[slot] = None if rows == list(range(self._stacks[slot].n)) else np.asarray(rows)
+        for _ in range(horizon):
+            for slot, idxs in by_slot.items():
+                q = self._stacks[slot].forward(
+                    np.stack([states[i] for i in idxs]), rows=row_sel[slot]
+                )
+                for bi, i in enumerate(idxs):
+                    key, env = pairs[i]
+                    agent = self._agents[key]
+                    action = agent.policy.select(q[bi])
+                    step = env.step(action)
+                    agent.observe(states[i], action, step.reward, step.state, step.done)
+                    totals[i] += step.reward
+                    states[i] = step.state
+        rewards = list(totals)
+        optima = [env.max_episode_reward() for _, env in pairs]
+        return rewards, optima
+
+
+def greedy_rollout(qnet, dev_stream) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Matrix-only greedy rollout over one device's full stream.
+
+    Replaces the per-minute act/step loop of ``evaluate_episode`` for
+    greedy (no-learning) evaluation: one forward over the whole
+    ``(T, state_dim)`` state matrix, one argmax, and vectorised
+    controlled-power / reward materialisation with the exact
+    :class:`repro.rl.env.DeviceEnv` pass-through semantics.
+
+    Returns ``(actions, controlled_kw, rewards)`` per minute.
+    """
+    states = build_states(
+        dev_stream.predicted_kw,
+        dev_stream.real_kw,
+        dev_stream.on_kw,
+        dev_stream.standby_kw,
+        dev_stream.device,
+    )
+    actions = qnet.forward(states).argmax(axis=1).astype(np.int64)
+    real = dev_stream.real_kw
+    controlled = np.where(
+        actions == 2,
+        real,
+        np.where(actions == 1, np.minimum(real, dev_stream.standby_kw * 1.1), 0.0),
+    )
+    rewards = reward_vector(dev_stream.mode, actions)
+    return actions, controlled, rewards
+
+
+def train_residence_segment(
+    task: tuple[dict[str, DQNAgent], "object", int]
+) -> tuple[list[float], list[float], dict[str, dict]]:
+    """Process-pool worker: serial episode training over one residence.
+
+    ``task`` is ``(agents_by_slot, residence_segment, horizon)`` where
+    the segment is the residence's stream sliced to one share interval.
+    Residences are independent between share rounds, so sharding them
+    across processes is exact: each agent sees the same observation
+    sequence as in-process serial training.  Returns the per-episode
+    rewards, the optimal rewards, and each agent's full ``state_dict``
+    for the parent process to load back in place.
+    """
+    agents, segment, horizon = task
+    rewards: list[float] = []
+    optima: list[float] = []
+    n = segment.n_minutes
+    for lo in range(0, n, horizon):
+        hi = min(lo + horizon, n)
+        if hi - lo < 2:
+            continue
+        for dev_stream in segment.devices.values():
+            agent = agents.get(dev_stream.device) or agents["*"]
+            chunk = dev_stream.slice(lo, hi)
+            env = DeviceEnv(
+                chunk.predicted_kw,
+                chunk.real_kw,
+                chunk.on_kw,
+                chunk.standby_kw,
+                ground_truth_mode=chunk.mode,
+                device=chunk.device,
+            )
+            rewards.append(agent.run_episode(env, learn=True))
+            optima.append(env.max_episode_reward())
+    return rewards, optima, {slot: agent.state_dict() for slot, agent in agents.items()}

@@ -54,17 +54,27 @@ def classify_modes(
     standby = (~off) & (values >= BAND_LO * standby_kw) & (values <= BAND_HI * standby_kw)
     on = (~off) & (values >= BAND_LO * on_kw) & (values <= BAND_HI * on_kw)
 
+    # Assignment order is the precedence contract: when the standby and
+    # on bands overlap (standby_kw close to on_kw), the on band wins.
     out[off] = MODE_OFF
     out[standby] = MODE_STANDBY
     out[on] = MODE_ON
 
-    # Out-of-band readings: nearest nominal level in log space.
+    # Out-of-band readings: nearest nominal level in log space.  Two-mode
+    # devices (standby_kw == 0) have no standby level to compete — only
+    # off and on are candidates, otherwise stray low readings would
+    # classify as standby for a device that has no standby mode.
     unresolved = ~(off | standby | on)
     if np.any(unresolved):
         v = np.maximum(values[unresolved], zero_eps * 0.1)
-        levels = np.array([zero_eps, max(standby_kw, zero_eps * 2), on_kw])
+        if standby_kw > 0.0:
+            levels = np.array([zero_eps, max(standby_kw, zero_eps * 2), on_kw])
+            modes = np.array([MODE_OFF, MODE_STANDBY, MODE_ON], dtype=np.int8)
+        else:
+            levels = np.array([zero_eps, on_kw])
+            modes = np.array([MODE_OFF, MODE_ON], dtype=np.int8)
         dist = np.abs(np.log(v[:, None]) - np.log(levels[None, :]))
-        out[unresolved] = dist.argmin(axis=1).astype(np.int8)
+        out[unresolved] = modes[dist.argmin(axis=1)]
     return out
 
 

@@ -10,7 +10,14 @@ Each class pins one fix and fails on the pre-fix code:
   with a second ``make_qnet`` call, burning init draws only to overwrite
   them via the deploy-time sync;
 - :class:`TestStarmapChunksize` — ``parallel_starmap`` submitted one
-  future per item, silently ignoring ``ParallelConfig.chunksize``.
+  future per item, silently ignoring ``ParallelConfig.chunksize``;
+- :class:`TestClassifyModesPhantomStandby` — for two-mode devices
+  (``standby_kw == 0``) the out-of-band fallback still offered a standby
+  pseudo-level, so stray readings classified as standby for devices that
+  have no standby mode.
+
+The γ-round scheduling fixes (collapsed sub-hour rounds, dropped midnight
+event) are pinned separately in ``test_gamma_schedule.py``.
 """
 
 import numpy as np
@@ -83,8 +90,10 @@ class TestPerDayBroadcastAccounting:
                 memory_capacity=100, epsilon_decay_steps=100,
                 learn_every=8, reward_scale=1 / 30,
             ),
-            # gamma = 2 h on a 240-min day -> 2 share events every day.
-            federation=FederationConfig(alpha=2, beta_hours=6, gamma_hours=2),
+            # gamma = 16 h on a 240-min day (period 160 min) -> exactly one
+            # share event per day on both days (minutes 160 and 320), so the
+            # per-day params deltas must be equal.
+            federation=FederationConfig(alpha=2, beta_hours=6, gamma_hours=16),
             episodes=1,
         )
         streams = build_streams(generate_neighborhood(cfg.data))
@@ -187,3 +196,53 @@ class TestStarmapChunksize:
     def test_serial_path_unaffected(self):
         args = [(i, 1) for i in range(3)]
         assert parallel_starmap(add, args) == [i + 1 for i in range(3)]
+
+
+class TestClassifyModesPhantomStandby:
+    """Two-mode devices (standby_kw == 0) must never classify as standby."""
+
+    def test_stray_low_reading_resolves_to_off(self):
+        from repro.data.devices import MODE_OFF
+        from repro.rl.modes import classify_modes
+
+        # 1e-5 kW is outside every band; the old fallback offered a
+        # standby pseudo-level at 2 * zero_eps and picked it.
+        out = classify_modes(np.array([1e-5, 1e-6]), on_kw=1.0, standby_kw=0.0)
+        assert (out == MODE_OFF).all()
+
+    def test_no_standby_anywhere_for_two_mode_device(self):
+        from repro.data.devices import MODE_STANDBY
+        from repro.rl.modes import classify_modes
+
+        rng = as_generator(3)
+        values = rng.uniform(0.0, 1.5, size=2000)
+        out = classify_modes(values, on_kw=1.0, standby_kw=0.0)
+        assert not (out == MODE_STANDBY).any()
+
+    def test_mid_range_reading_still_resolves_to_on(self):
+        from repro.data.devices import MODE_ON
+        from repro.rl.modes import classify_modes
+
+        out = classify_modes(np.array([0.5]), on_kw=1.0, standby_kw=0.0)
+        assert out[0] == MODE_ON
+
+    def test_three_mode_fallback_unchanged(self):
+        from repro.data.devices import MODE_OFF, MODE_ON, MODE_STANDBY
+        from repro.rl.modes import classify_modes
+
+        # With a real standby level the fallback still offers all three.
+        out = classify_modes(
+            np.array([1e-6, 0.11, 0.5]), on_kw=1.0, standby_kw=0.1
+        )
+        assert out[0] == MODE_OFF
+        assert out[1] == MODE_STANDBY
+        assert out[2] == MODE_ON
+
+    def test_band_overlap_on_wins(self):
+        from repro.data.devices import MODE_ON
+        from repro.rl.modes import classify_modes
+
+        # standby 0.95 / on 1.0: the bands overlap on [0.9, 1.045]; the
+        # on band takes precedence (assignment order is the contract).
+        out = classify_modes(np.array([0.92, 1.0]), on_kw=1.0, standby_kw=0.95)
+        assert (out == MODE_ON).all()

@@ -143,7 +143,8 @@ class TestConfigToDict:
     def test_nested_roundtrip_keys(self):
         d = config_to_dict(PFDRLConfig())
         assert set(d) == {
-            "data", "forecast", "dqn", "federation", "faults", "episodes", "seed",
+            "data", "forecast", "dqn", "federation", "faults", "episodes",
+            "ems_batched", "ems_workers", "seed",
         }
         assert d["dqn"]["memory_capacity"] == 2000
         assert isinstance(d["data"]["device_types"], list)

@@ -1,0 +1,130 @@
+"""γ-round scheduling regressions and the DFL/PFDRL share-round matrix.
+
+Two scheduling bugs lived in ``PFDRLTrainer.run_day``:
+
+1. **Collapsed sub-hour rounds** — the trainer checked ``any(lo < e <= hi)``
+   per hour-long training chunk, firing at most ONE share round per chunk
+   even when several scheduled events fell inside it (γ = 0.5 h must give
+   48 rounds/day, the collapsed loop gave 24).
+2. **Dropped midnight event** — an event at ``e == start`` (multi-day γ,
+   e.g. γ = 24 h) is in the day's event set but can never satisfy
+   ``lo < e`` for any chunk of that day, so multi-day γ never shared
+   during ``run_day`` at all.
+
+Both are fixed by adopting the DFL trainer's segmenting convention
+(``boundaries = [start, *events, stop]``; fire after each segment whose
+upper bound is an event).  These tests fail against the pre-fix loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DQNConfig, FederationConfig, ForecastConfig
+from repro.core.pfdrl import PFDRLTrainer
+from repro.core.streams import build_streams
+from repro.data import generate_neighborhood
+from repro.federated.dfl import DFLTrainer
+from repro.federated.scheduler import BroadcastScheduler
+
+MPD = 240  # scaled day: 10-minute "hours"
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_neighborhood(
+        n_residences=2, n_days=3, minutes_per_day=MPD,
+        device_types=("tv",), seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def streams(dataset):
+    return build_streams(dataset)
+
+
+def tiny_dqn():
+    return DQNConfig(
+        hidden_width=8, batch_size=8, memory_capacity=64,
+        learn_every=4, epsilon_decay_steps=100,
+    )
+
+
+def make_trainer(streams, gamma, sharing="none", alpha=6):
+    return PFDRLTrainer(
+        streams,
+        dqn_config=tiny_dqn(),
+        federation_config=FederationConfig(alpha=alpha, gamma_hours=gamma),
+        sharing=sharing,
+        seed=0,
+    )
+
+
+class TestSubHourGammaRegression:
+    """γ = 0.5 h: every scheduled event must fire its own share round."""
+
+    def test_day1_fires_one_round_per_event(self, streams):
+        tr = make_trainer(streams, gamma=0.5)
+        expected = len(BroadcastScheduler(0.5, MPD).events_in(0, MPD))
+        assert expected == 47  # period 5 min on a 240-min day, minute 0 excluded
+        r = tr.run_day()
+        assert r.n_broadcast_events == expected
+
+    def test_day2_includes_midnight_event(self, streams):
+        tr = make_trainer(streams, gamma=0.5)
+        tr.run_day()
+        r2 = tr.run_day()
+        # Day 2 owns its own midnight boundary: 48 rounds, not 47.
+        assert r2.n_broadcast_events == 48
+
+
+class TestMidnightGammaRegression:
+    """γ = 24 h: the single daily event lands exactly on a day boundary."""
+
+    def test_day2_fires_the_midnight_round(self, streams):
+        tr = make_trainer(streams, gamma=24.0, sharing="personalized")
+        r1 = tr.run_day()
+        assert r1.n_broadcast_events == 0  # scheduler never fires at minute 0
+        r2 = tr.run_day()
+        assert r2.n_broadcast_events == 1
+        assert r2.params_broadcast > 0  # the round actually moved parameters
+
+    def test_gamma_48h_fires_on_day3(self, streams):
+        tr = make_trainer(streams, gamma=48.0)
+        counts = [tr.run_day().n_broadcast_events for _ in range(3)]
+        assert counts == [0, 0, 1]
+
+
+class TestScheduleMatrix:
+    """Trainer event counts track the scheduler for the paper's γ sweep."""
+
+    @pytest.mark.parametrize("gamma", [0.1, 0.5, 1.0, 6.0, 24.0, 48.0])
+    def test_pfdrl_matches_scheduler(self, streams, gamma):
+        tr = make_trainer(streams, gamma=gamma)
+        sched = BroadcastScheduler(gamma, MPD)
+        for day in range(3):
+            expected = len(sched.events_in(day * MPD, (day + 1) * MPD))
+            assert tr.run_day().n_broadcast_events == expected
+
+    @pytest.mark.parametrize("gamma", [0.1, 0.5, 1.0, 6.0, 24.0, 48.0])
+    def test_dfl_and_pfdrl_agree(self, dataset, streams, gamma):
+        """Both trainers fire the same per-day event counts for equal periods."""
+        dfl = DFLTrainer(
+            dataset,
+            forecast_config=ForecastConfig(model="lr", window=20, horizon=10),
+            federation_config=FederationConfig(beta_hours=gamma),
+            mode="local",
+            seed=0,
+        )
+        drl = make_trainer(streams, gamma=gamma)
+        for _ in range(3):
+            assert dfl.run_day().n_broadcast_events == drl.run_day().n_broadcast_events
+
+    @pytest.mark.parametrize("gamma", [6.0, 24.0])
+    def test_params_accounting_consistent(self, streams, gamma):
+        """Trainer-side broadcast accounting equals the bus's transport stats."""
+        tr = make_trainer(streams, gamma=gamma, sharing="personalized")
+        tr.run_day()
+        tr.run_day()
+        tr.finalize()
+        assert tr.params_broadcast_total > 0
+        assert tr.params_broadcast_total == tr.bus.stats.n_tx_params
