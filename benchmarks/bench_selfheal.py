@@ -1,0 +1,103 @@
+"""Self-healing benchmark: reward retention and delivery vs trace severity.
+
+Standalone (no pytest-benchmark dependency) so CI can run it with the
+tier-1 package set:
+
+    PYTHONPATH=src python benchmarks/bench_selfheal.py --out BENCH_selfheal.json
+
+Runs the ``repro.experiments.selfheal`` sweep — identical replayed
+fault traces, monitor on vs off, on a ring — and records per severity
+rung the delivery ratio and mean reward of both arms, plus the
+self-healing decision counters.  Asserts the acceptance criteria:
+
+- under the severe trace, monitor-on achieves strictly higher delivery
+  ratio than monitor-off (identical trace/seed);
+- monitor-on mean reward is no worse than monitor-off beyond the
+  training-noise band (``--reward-tolerance``, relative).  The band
+  exists because at bench scale raw training reward cannot resolve
+  delivery differences: the sweep's own trace-free rung scores *below*
+  the faulted rungs (dropped shares skip aggregation transients), so
+  reward parity — not reward gain — is the meaningful check, and the
+  delivery ratio carries the comparison;
+- the trace-free rung keeps a perfect delivery ratio in both arms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import selfheal  # noqa: E402
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--reward-tolerance",
+        type=float,
+        default=0.01,
+        help="monitor-on mean reward may trail monitor-off by at most this "
+        "fraction of |monitor-off| (training-noise band; see module docstring)",
+    )
+    p.add_argument("--out", default="BENCH_selfheal.json")
+    args = p.parse_args(argv)
+
+    t0 = time.perf_counter()
+    result = selfheal.run(seed=args.seed)
+    elapsed = time.perf_counter() - t0
+    print(result.to_text())
+    print(f"sweep wall time: {elapsed:.1f}s")
+
+    rungs = [result.notes[f"severity_{i}"] for i in range(len(selfheal.SEVERITIES))]
+    delivery_on = result["delivery monitor=on"].y
+    delivery_off = result["delivery monitor=off"].y
+    reward_on = result["reward monitor=on"].y
+    reward_off = result["reward monitor=off"].y
+
+    # Acceptance: the trace-free rung is loss-free in both arms, and at
+    # the severe rung the monitor strictly buys delivery back while
+    # staying reward-neutral within the training-noise band.
+    assert delivery_on[0] == 1.0 and delivery_off[0] == 1.0, (
+        "trace-free rung must have a perfect delivery ratio"
+    )
+    assert delivery_on[-1] > delivery_off[-1], (
+        f"severe trace: monitor-on delivery {delivery_on[-1]:.4f} must beat "
+        f"monitor-off {delivery_off[-1]:.4f}"
+    )
+    reward_band = args.reward_tolerance * abs(reward_off[-1])
+    assert reward_on[-1] >= reward_off[-1] - reward_band, (
+        f"severe trace: monitor-on reward {reward_on[-1]:.4f} fell more than "
+        f"{args.reward_tolerance:.2%} below monitor-off {reward_off[-1]:.4f}"
+    )
+
+    out = {
+        "sweep_seconds": round(elapsed, 2),
+        "severity_rungs": rungs,
+        "delivery_ratio": {"monitor_on": delivery_on, "monitor_off": delivery_off},
+        "mean_reward": {"monitor_on": reward_on, "monitor_off": reward_off},
+        "severe": {
+            "delivery_gain": result.notes["delivery_gain_severe"],
+            "reward_gain": result.notes["reward_gain_severe"],
+            "n_links_disabled": result.notes.get("n_links_disabled", 0),
+            "n_links_restored": result.notes.get("n_links_restored", 0),
+            "n_reroutes": result.notes.get("n_reroutes", 0),
+        },
+        "policy_cross": {
+            k: v
+            for k, v in result.notes.items()
+            if k.startswith(("delivery_", "reward_")) and "monitor=" in k
+        },
+    }
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ __all__ = [
     "ForecastConfig",
     "DQNConfig",
     "FederationConfig",
+    "TraceConfig",
     "FaultConfig",
     "PFDRLConfig",
     "ExperimentConfig",
@@ -208,6 +209,54 @@ class FederationConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Replayable fault-trace parameters (LinkGuardian-style bursts).
+
+    Production links do not fail i.i.d. per message — they *degrade* for
+    stretches of rounds and then get repaired.  A ``TraceConfig``
+    describes that burst process; :class:`repro.federated.traces.
+    FaultTraceGenerator` expands it (deterministically, from ``seed``)
+    against a concrete :class:`~repro.federated.topology.Topology` into a
+    :class:`~repro.federated.traces.FaultTrace` of
+    ``(round, link, loss_rate)`` episodes that the fault fabric replays:
+    while an episode is active, deliveries over that link drop with the
+    episode's loss rate (and corrupt with ``corrupt_fraction`` of it)
+    instead of the global i.i.d. ``FaultConfig`` rates.
+
+    - ``mttf_rounds`` — mean broadcast rounds between failures per link
+      (exponential inter-arrival, per LinkGuardian's generator).
+    - ``repair_rounds`` — mean episode duration in rounds (exponential,
+      floored at one round).
+    - ``loss_rate_min`` / ``loss_rate_max`` — episode loss rates are
+      drawn log-uniform in this band (heavy-tailed, per the CorrOpt
+      observations LinkGuardian adopts).
+    - ``corrupt_fraction`` — fraction of an episode's loss rate that
+      manifests as payload corruption rather than silent drop.
+    - ``n_rounds`` — trace length; rounds past the end are clean.
+    """
+
+    mttf_rounds: float = 50.0
+    repair_rounds: float = 5.0
+    loss_rate_min: float = 0.05
+    loss_rate_max: float = 0.9
+    corrupt_fraction: float = 0.0
+    n_rounds: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mttf_rounds <= 0 or self.repair_rounds <= 0:
+            raise ValueError("mttf_rounds and repair_rounds must be > 0")
+        if not 0.0 < self.loss_rate_min <= self.loss_rate_max:
+            raise ValueError("need 0 < loss_rate_min <= loss_rate_max")
+        if self.loss_rate_max >= 1.0:
+            raise ValueError("loss_rate_max must be < 1 (retransmission must be able to succeed)")
+        if not 0.0 <= self.corrupt_fraction <= 1.0:
+            raise ValueError("corrupt_fraction must be in [0, 1]")
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Communication-fault model for the federated fabric.
 
@@ -238,6 +287,19 @@ class FaultConfig:
     - **quorum** — a receiver only aggregates when it heard valid payloads
       from at least ``quorum_fraction`` of its topology neighbours;
       otherwise it continues locally and the skip is counted.
+    - **trace** — instead of i.i.d. per-message faults, replay a
+      :class:`TraceConfig`-generated burst trace: per-link drop/corrupt
+      rates follow the trace's active episodes (links outside an episode
+      are clean), deterministically and checkpoint-resumably.
+    - **self-healing** — with ``selfheal`` on, a
+      :class:`~repro.federated.selfheal.LinkHealthMonitor` keeps an EWMA
+      loss estimate per link from the per-link transport counters and,
+      past ``selfheal_threshold`` (with hysteresis: ``selfheal_restore``
+      re-entry threshold plus a ``selfheal_min_rounds`` dwell between
+      flips), deactivates the link in a
+      :class:`~repro.federated.selfheal.TopologyOverlay` that reroutes
+      broadcasts around it — detour paths on ring/star, plain avoidance
+      on the full mesh.
     """
 
     drop_rate: float = 0.0
@@ -259,6 +321,15 @@ class FaultConfig:
     #: reboot loses RAM.  Restores are counted in
     #: ``TransportStats.n_restores`` and telemetry.
     recover_from_snapshot: bool = False
+    #: Replayable burst-fault trace; ``None`` keeps the i.i.d. model.
+    trace: TraceConfig | None = None
+    #: Self-healing overlay: monitor per-link loss and reroute around
+    #: persistently lossy links (see the class docstring).
+    selfheal: bool = False
+    selfheal_threshold: float = 0.35
+    selfheal_restore: float = 0.1
+    selfheal_alpha: float = 0.4
+    selfheal_min_rounds: int = 2
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -280,6 +351,14 @@ class FaultConfig:
             raise ValueError("staleness_decay must be in (0, 1]")
         if any(a < 0 for a in self.crashed_agents):
             raise ValueError("crashed_agents must be non-negative ids")
+        if not 0.0 < self.selfheal_threshold <= 1.0:
+            raise ValueError("selfheal_threshold must be in (0, 1]")
+        if not 0.0 <= self.selfheal_restore < self.selfheal_threshold:
+            raise ValueError("need 0 <= selfheal_restore < selfheal_threshold")
+        if not 0.0 < self.selfheal_alpha <= 1.0:
+            raise ValueError("selfheal_alpha must be in (0, 1]")
+        if self.selfheal_min_rounds < 1:
+            raise ValueError("selfheal_min_rounds must be >= 1")
 
     @property
     def active(self) -> bool:
@@ -297,6 +376,8 @@ class FaultConfig:
             or self.crashed_agents
             or self.straggler_fraction > 0
             or self.quorum_fraction > 0
+            or self.trace is not None
+            or self.selfheal
         )
 
 

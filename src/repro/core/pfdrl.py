@@ -341,6 +341,10 @@ class PFDRLTrainer:
             )
             tel.add_work("pfdrl.share", params_tx=result.params_broadcast)
             tel.record_transport(self.bus.stats, prefix="pfdrl.transport")
+            tel.record_links(self.bus.stats, prefix="pfdrl.transport")
+            monitor = getattr(self.bus, "monitor", None)
+            if monitor is not None:
+                tel.record_selfheal(monitor, prefix="pfdrl.selfheal")
         return result
 
     # ------------------------------------------------------------------

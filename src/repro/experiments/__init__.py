@@ -24,6 +24,7 @@ Module               Paper artefact
 ``table02_methods``  Table 2 — method feature matrix
 ``headline``         92% accuracy / 98% standby savings claims
 ``robustness``       beyond the paper — degradation under comm faults
+``selfheal``         beyond the paper — self-healing vs replayed fault traces
 ``ablations``        extra design-choice studies (topology, DQN, features)
 ===================  =============================================
 """

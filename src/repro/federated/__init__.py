@@ -15,6 +15,10 @@
 - :mod:`repro.federated.faults` — seeded fault injection (loss, delay,
   corruption, churn, stragglers) and the receiver-side validation /
   staleness / quorum policies that make the fabric survive it.
+- :mod:`repro.federated.traces` — replayable, topology-stamped link-
+  failure traces (LinkGuardian-style bursts) driving the fault fabric.
+- :mod:`repro.federated.selfheal` — per-link EWMA health monitoring and
+  the rerouting overlay that heals around persistently lossy links.
 """
 
 from repro.federated.topology import Topology, make_topology
@@ -26,6 +30,14 @@ from repro.federated.aggregation import (
     staleness_weights,
 )
 from repro.federated.faults import FaultyBus, ReceiveFilter, make_bus, payload_matches
+from repro.federated.traces import (
+    FaultTrace,
+    FaultTraceGenerator,
+    TraceDigestError,
+    TraceEpisode,
+    topology_digest,
+)
+from repro.federated.selfheal import LinkHealthMonitor, TopologyOverlay, link_key
 from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.dfl import DFLClient, DFLTrainer, DFLRoundResult
 from repro.federated.server import CentralServer
@@ -44,6 +56,14 @@ __all__ = [
     "ReceiveFilter",
     "make_bus",
     "payload_matches",
+    "FaultTrace",
+    "FaultTraceGenerator",
+    "TraceDigestError",
+    "TraceEpisode",
+    "topology_digest",
+    "LinkHealthMonitor",
+    "TopologyOverlay",
+    "link_key",
     "BroadcastScheduler",
     "DFLClient",
     "DFLTrainer",

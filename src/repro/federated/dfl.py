@@ -384,6 +384,10 @@ class DFLTrainer:
                 params_tx=self.bus.stats.n_tx_params - params_before,
             )
             tel.record_transport(self.bus.stats, prefix="dfl.transport")
+            tel.record_links(self.bus.stats, prefix="dfl.transport")
+            monitor = getattr(self.bus, "monitor", None)
+            if monitor is not None:
+                tel.record_selfheal(monitor, prefix="dfl.selfheal")
         return result
 
     def run(self, n_days: int) -> list[DFLRoundResult]:

@@ -17,6 +17,18 @@ deterministic fault process described by a
 - agent **churn** (crash/recovery schedules, plus permanently crashed
   agents) and **stragglers** that sit out broadcast rounds.
 
+Two extensions ride on top of the i.i.d. model:
+
+- **trace-driven faults** (``FaultConfig.trace``): per-link drop/corrupt
+  rates come from the active episode of a replayable
+  :class:`~repro.federated.traces.FaultTrace` instead of the global
+  rates, with the trace cursor checkpointed so resume-under-trace is
+  bit-identical;
+- **self-healing** (``FaultConfig.selfheal``): a
+  :class:`~repro.federated.selfheal.LinkHealthMonitor` watches per-link
+  loss and reroutes broadcasts around persistently lossy links through a
+  :class:`~repro.federated.selfheal.TopologyOverlay`.
+
 Every random decision comes from one private generator seeded from
 ``FaultConfig.seed``, independent of the model/data RNG streams: the same
 fault seed replays the identical fault schedule, and fault injection
@@ -37,11 +49,18 @@ import numpy as np
 
 from repro.config import FaultConfig
 from repro.federated.aggregation import staleness_weights
+from repro.federated.selfheal import LinkHealthMonitor, TopologyOverlay, link_key
 from repro.federated.topology import Topology
+from repro.federated.traces import FaultTrace, FaultTraceGenerator
 from repro.federated.transport import Message, MessageBus, message_from_state, message_state
 from repro.rng import generator_state, hash_seed, restore_generator
 
 __all__ = ["FaultyBus", "make_bus", "payload_matches", "ReceiveFilter"]
+
+#: Control-plane probe transmissions sent per round on each *disabled*
+#: link so the health monitor can observe recovery (probes are tiny and
+#: are not charged to the parameter counters).
+PROBES_PER_ROUND = 4
 
 
 def make_bus(topology: Topology, faults: FaultConfig | None) -> MessageBus:
@@ -85,10 +104,32 @@ class FaultyBus(MessageBus):
     trainer calls :meth:`advance_round` after each broadcast event.
     """
 
-    def __init__(self, topology: Topology, faults: FaultConfig) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        faults: FaultConfig,
+        trace: FaultTrace | None = None,
+    ) -> None:
         super().__init__(topology)
         self.faults = faults
         self._rng = np.random.default_rng(hash_seed(faults.seed, "faulty-bus"))
+        # Trace-driven mode: per-link rates come from the active episode
+        # of a replayable trace (generated here from the config unless an
+        # explicit — e.g. file-loaded — trace is supplied).
+        if trace is None and faults.trace is not None:
+            trace = FaultTraceGenerator(topology, faults.trace).generate()
+        self.trace = trace.validate(topology) if trace is not None else None
+        self._trace_cursor = 0
+        self._active_episodes: dict[tuple[int, int], object] = {}
+        # Self-healing: EWMA link-health monitor driving a routing overlay.
+        if faults.selfheal:
+            self.overlay: TopologyOverlay | None = TopologyOverlay(topology)
+            self.monitor: LinkHealthMonitor | None = LinkHealthMonitor(
+                faults, self.overlay
+            )
+        else:
+            self.overlay = None
+            self.monitor = None
         n = topology.n_agents
         self._permanently_down = {a for a in faults.crashed_agents if a < n}
         self._online = [a not in self._permanently_down for a in range(n)]
@@ -106,6 +147,7 @@ class FaultyBus(MessageBus):
         #: :meth:`drain_recovered` (the recovery mode's restore queue).
         self._recovered: list[int] = []
         self._draw_straggler_round()
+        self._advance_trace()
 
     # ------------------------------------------------------------------
     # liveness / stragglers
@@ -148,7 +190,90 @@ class FaultyBus(MessageBus):
                 self._recovered.append(a)
 
     # ------------------------------------------------------------------
+    # link model: where per-link rates come from
+    def _link_rates(self, u: int, v: int) -> tuple[float, float]:
+        """(drop_rate, corrupt_rate) for the physical link ``u — v``.
+
+        Trace mode: the active episode's rates (clean links are lossless).
+        Otherwise: the global i.i.d. rates from the config.
+        """
+        if self.trace is not None:
+            episode = self._active_episodes.get(link_key(u, v))
+            if episode is None:
+                return 0.0, 0.0
+            return episode.loss_rate, episode.corrupt_rate
+        return self.faults.drop_rate, self.faults.corrupt_rate
+
+    def _advance_trace(self) -> None:
+        """Move the trace cursor to ``self.round``, updating active episodes."""
+        if self.trace is None:
+            return
+        self._active_episodes = {
+            k: e for k, e in self._active_episodes.items() if e.end_round > self.round
+        }
+        episodes = self.trace.episodes
+        while (
+            self._trace_cursor < len(episodes)
+            and episodes[self._trace_cursor].round <= self.round
+        ):
+            episode = episodes[self._trace_cursor]
+            if episode.end_round > self.round:
+                self._active_episodes[episode.link] = episode
+            self._trace_cursor += 1
+
+    def _route(self, src: int, dst: int) -> list[int]:
+        """Physical hops for a delivery ``src -> dst`` (direct without overlay)."""
+        if self.overlay is None:
+            return [src, dst]
+        route = self.overlay.route(src, dst)
+        return route if route is not None else [src, dst]
+
+    def _traverse_hop(self, u: int, v: int, n_params: int) -> bool:
+        """One lossy hop with bounded ack/retransmit; ``True`` on delivery.
+
+        Each failed attempt is retried up to ``max_retries`` times; every
+        retry is a real (re-)transmission, charged to ``n_tx_params`` on
+        top of ``n_retransmits``.  All transmissions and losses are
+        attributed to the directed link and fed to the health monitor.
+        """
+        drop_rate, _ = self._link_rates(u, v)
+        f = self.faults
+        retries = 0
+        delivered_ok = True
+        while drop_rate > 0 and self._rng.random() < drop_rate:
+            if retries >= f.max_retries:
+                delivered_ok = False
+                break
+            retries += 1
+        if retries:
+            self.stats.n_retransmits += retries
+            self.stats.n_tx_params += retries * n_params
+        transmissions = retries + 1
+        losses = retries + (0 if delivered_ok else 1)
+        self.stats.record_link(
+            u,
+            v,
+            attempts=transmissions,
+            retransmits=retries,
+            dropped=0 if delivered_ok else 1,
+            delivered=1 if delivered_ok else 0,
+        )
+        if self.monitor is not None:
+            self.monitor.observe(u, v, transmissions, losses)
+        return delivered_ok
+
+    # ------------------------------------------------------------------
     # transport overrides
+    def _sender_on_air(self, src: int) -> bool:
+        """A crashed sender's radio never keys up."""
+        return self._online[src]
+
+    def _route_neighbors(self, src: int) -> list[int]:
+        """Overlay-aware receiver set (base neighbours when not self-healing)."""
+        if self.overlay is not None:
+            return self.overlay.neighbors(src)
+        return self.topology.neighbors(src)
+
     def send(
         self,
         src: int,
@@ -160,27 +285,39 @@ class FaultyBus(MessageBus):
         msg = self._make_message(src, dst, payload, tag)
         f = self.faults
         if not self._online[src]:
-            return  # a crashed sender transmits nothing
+            # A crashed sender transmits nothing; the suppressed delivery
+            # is tallied so loss accounting stays honest under churn.
+            self.stats.n_sender_offline += 1
+            return
         if not self._online[dst]:
             self.stats.n_dropped += 1
+            # Attributed to the link for completeness, but NOT fed to the
+            # health monitor: a crashed receiver is not a lossy link.
+            self.stats.record_link(src, dst, attempts=1, dropped=1)
             return
-        # Lossy link with bounded ack/retransmit: each failed attempt is
-        # retried up to max_retries times; every retry is a real (re-)
-        # transmission, charged to n_tx_params on top of n_retransmits.
-        attempts = 0
+        route = self._route(src, dst)
+        if len(route) > 2:
+            # Detour around a disabled link: every relay re-transmits the
+            # payload, so the extra hops are charged as unicast sends.
+            if any(not self._online[relay] for relay in route[1:-1]):
+                self.stats.n_dropped += 1
+                return
+            self.stats.n_tx_params += (len(route) - 2) * msg.n_params
+            if self.monitor is not None:
+                self.monitor.count_reroute()
         delivered_ok = True
-        while f.drop_rate > 0 and self._rng.random() < f.drop_rate:
-            if attempts >= f.max_retries:
+        for u, v in zip(route, route[1:]):
+            if not self._traverse_hop(u, v, msg.n_params):
                 delivered_ok = False
                 break
-            attempts += 1
-        if attempts:
-            self.stats.n_retransmits += attempts
-            self.stats.n_tx_params += attempts * msg.n_params
         if not delivered_ok:
             self.stats.n_dropped += 1
             return
-        if f.corrupt_rate > 0 and self._rng.random() < f.corrupt_rate:
+        corrupt_rate = 1.0
+        for u, v in zip(route, route[1:]):
+            corrupt_rate *= 1.0 - self._link_rates(u, v)[1]
+        corrupt_rate = 1.0 - corrupt_rate
+        if corrupt_rate > 0 and self._rng.random() < corrupt_rate:
             msg = Message(
                 src=msg.src,
                 dst=msg.dst,
@@ -227,11 +364,29 @@ class FaultyBus(MessageBus):
         out, self._recovered = self._recovered, []
         return out
 
+    def _probe_disabled_links(self) -> None:
+        """Probe each disabled link so the monitor can observe recovery.
+
+        Rerouting removes all payload traffic from a disabled link, which
+        would freeze its loss estimate forever; a few control-plane
+        probes per round keep the estimate live so the link is restored
+        once its trace episode ends.
+        """
+        for u, v in self.overlay.disabled_links:
+            drop_rate, _ = self._link_rates(u, v)
+            lost = sum(
+                1 for _ in range(PROBES_PER_ROUND) if self._rng.random() < drop_rate
+            )
+            self.monitor.observe(u, v, PROBES_PER_ROUND, lost)
+
     def advance_round(self) -> None:
         """Round boundary: apply churn, then release due delayed messages.
 
         Churn first: an agent that goes down during the round misses the
-        late deliveries landing at its boundary.
+        late deliveries landing at its boundary.  Afterwards the trace
+        cursor moves to the new round and the health monitor folds the
+        finished round's observations into its estimates (probing
+        disabled links first so recovery is detectable).
         """
         super().advance_round()
         self._apply_churn()
@@ -242,11 +397,16 @@ class FaultyBus(MessageBus):
             else:
                 self.stats.n_dropped += 1
         self._draw_straggler_round()
+        self._advance_trace()
+        if self.monitor is not None:
+            self._probe_disabled_links()
+            self.monitor.finish_round()
 
     # ------------------------------------------------------------------
     # Persistence
     def state_dict(self) -> dict:
-        """Superclass state plus churn RNG, liveness sets and delay queue."""
+        """Superclass state plus churn RNG, liveness sets, delay queue,
+        trace cursor (guarded by the trace digest) and self-heal state."""
         state = super().state_dict()
         state.update(
             {
@@ -261,6 +421,12 @@ class FaultyBus(MessageBus):
                 },
             }
         )
+        if self.trace is not None:
+            state["trace_cursor"] = self._trace_cursor
+            state["trace_digest"] = self.trace.digest()
+        if self.monitor is not None:
+            state["overlay"] = self.overlay.state_dict()
+            state["monitor"] = self.monitor.state_dict()
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -278,6 +444,21 @@ class FaultyBus(MessageBus):
             int(due): [message_from_state(m) for m in msgs]
             for due, msgs in state["delayed"].items()
         }
+        if self.trace is not None:
+            if "trace_digest" not in state:
+                raise ValueError("checkpoint was written without a fault trace")
+            if state["trace_digest"] != self.trace.digest():
+                raise ValueError(
+                    "checkpoint was written under a different fault trace; "
+                    "resuming it here would silently diverge"
+                )
+            self._trace_cursor = int(state["trace_cursor"])
+            self._active_episodes = dict(self.trace.active_at(self.round))
+        elif "trace_digest" in state:
+            raise ValueError("checkpoint expects a fault trace but none is configured")
+        if self.monitor is not None:
+            self.overlay.load_state_dict(state["overlay"])
+            self.monitor.load_state_dict(state["monitor"])
 
 
 class ReceiveFilter:

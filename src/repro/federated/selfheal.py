@@ -1,0 +1,351 @@
+"""Self-healing overlay: per-link health estimation and rerouting.
+
+Burst faults (``repro.federated.traces``) make individual links lossy
+for many consecutive rounds.  Retransmission alone is a poor answer — a
+90%-loss link burns retries and still drops most deliveries.  This
+module closes the loop instead:
+
+- :class:`LinkHealthMonitor` keeps an EWMA loss estimate per physical
+  link, fed by the per-link counters the bus records on every delivery
+  attempt.  Past ``FaultConfig.selfheal_threshold`` for
+  ``selfheal_min_rounds`` consecutive rounds (hysteresis, so one bad
+  round cannot flap a link), it deactivates the link; once the estimate
+  falls back under ``selfheal_restore`` for the same dwell, it restores
+  it.
+- :class:`TopologyOverlay` is the dynamic routing view the bus consults:
+  the base :class:`~repro.federated.topology.Topology` minus the links
+  the monitor disabled.  Deliveries whose direct link is disabled are
+  rerouted over the shortest detour in the remaining graph (detour paths
+  on ring/star, simple link avoidance on full mesh).  A link whose
+  removal would disconnect its endpoints is never disabled — reachability
+  beats loss.
+
+Both objects are checkpointable (``state_dict``/``load_state_dict``) so
+self-healing runs resume bit-identically, and all decisions are counted
+(``n_links_disabled``, ``n_links_restored``, ``n_reroutes``) for the
+telemetry export.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.config import FaultConfig
+from repro.federated.topology import Topology
+
+__all__ = ["link_key", "TopologyOverlay", "LinkHealthMonitor"]
+
+#: Floor for per-link success probabilities when converting to route
+#: weights (keeps ``-log`` finite on a fully lossy link).
+_MIN_SUCCESS = 1e-6
+
+
+def link_key(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) undirected key for the link between *u* and *v*."""
+    return (u, v) if u <= v else (v, u)
+
+
+def _key_str(key: tuple[int, int]) -> str:
+    return f"{key[0]}-{key[1]}"
+
+
+def _key_from_str(s: str) -> tuple[int, int]:
+    u, v = s.split("-")
+    return (int(u), int(v))
+
+
+class TopologyOverlay:
+    """A routing view of a :class:`Topology` with some links disabled.
+
+    The *base* topology never changes — it is what the trainers and the
+    trace were built for.  The overlay removes links the health monitor
+    deactivated and answers two questions for the bus: which base
+    neighbours are still reachable (:meth:`neighbors`), and over which
+    physical hops a payload for a given neighbour should travel
+    (:meth:`route`).  Routes are recomputed lazily and cached until the
+    disabled set changes.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._disabled: set[tuple[int, int]] = set()
+        self._routes: dict[tuple[int, int], list[int] | None] = {}
+        #: per-link route weight, ``1 - log(success_prob)``: clean links
+        #: cost one hop, lossy links cost more — set by the monitor.
+        self._costs: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def disabled_links(self) -> list[tuple[int, int]]:
+        """Currently deactivated links, sorted."""
+        return sorted(self._disabled)
+
+    def is_disabled(self, u: int, v: int) -> bool:
+        """Whether the physical link between *u* and *v* is deactivated."""
+        return link_key(u, v) in self._disabled
+
+    def _active_graph(self) -> nx.Graph:
+        g = self.topology.graph.copy()
+        g.remove_edges_from(self._disabled)
+        return g
+
+    def disable(self, u: int, v: int) -> bool:
+        """Deactivate the link if its endpoints keep a detour path.
+
+        Returns ``False`` (and leaves the link active) when removal would
+        disconnect *u* from *v* — losing reachability is strictly worse
+        than tolerating a lossy link.
+        """
+        key = link_key(u, v)
+        if key in self._disabled or key[1] not in self.topology.neighbors(key[0]):
+            return False
+        g = self._active_graph()
+        g.remove_edge(*key)
+        if not nx.has_path(g, u, v):
+            return False
+        self._disabled.add(key)
+        self._routes.clear()
+        return True
+
+    def restore(self, u: int, v: int) -> bool:
+        """Reactivate a previously disabled link; ``True`` if it was disabled."""
+        key = link_key(u, v)
+        if key not in self._disabled:
+            return False
+        self._disabled.remove(key)
+        self._routes.clear()
+        return True
+
+    def set_edge_costs(self, costs: dict[tuple[int, int], float]) -> None:
+        """Install per-link route weights (health-derived, see monitor).
+
+        Links absent from *costs* count one hop.  Invalidates the route
+        cache: detours re-optimize against the new health picture.
+        """
+        self._costs = dict(costs)
+        self._routes.clear()
+
+    def _edge_weight(self, u: int, v: int, _data: dict | None = None) -> float:
+        return self._costs.get(link_key(u, v), 1.0)
+
+    # ------------------------------------------------------------------
+    def neighbors(self, agent: int) -> list[int]:
+        """Base-topology neighbours of *agent* that remain reachable.
+
+        A broadcast still targets the *logical* neighbour set of the base
+        topology — disabling a link changes how a payload travels, not
+        who should receive it.  Only neighbours with no remaining path
+        (impossible while :meth:`disable` guards connectivity) drop out.
+        """
+        return [
+            dst
+            for dst in self.topology.neighbors(agent)
+            if self.route(agent, dst) is not None
+        ]
+
+    def route(self, src: int, dst: int) -> list[int] | None:
+        """Physical hop sequence ``[src, ..., dst]``, or ``None`` if cut off.
+
+        The direct link is used when active; otherwise the cheapest
+        detour through the overlay graph under the health-derived edge
+        costs (hop count when no costs are installed).  Deterministic:
+        Dijkstra tie-breaking follows the sorted node insertion order of
+        the base graph.
+        """
+        key = (src, dst)
+        if key not in self._routes:
+            if not self.is_disabled(src, dst):
+                self._routes[key] = [src, dst]
+            else:
+                g = self._active_graph()
+                try:
+                    self._routes[key] = nx.shortest_path(
+                        g, src, dst, weight=self._edge_weight
+                    )
+                except nx.NetworkXNoPath:  # pragma: no cover - guarded by disable()
+                    self._routes[key] = None
+        return self._routes[key]
+
+    def detour_path(self, u: int, v: int) -> list[int] | None:
+        """Cheapest path ``u -> v`` that avoids the direct link entirely.
+
+        Works whether or not the link is currently disabled — this is
+        what the monitor evaluates *before* deciding to disable it.
+        """
+        g = self._active_graph()
+        if g.has_edge(u, v):
+            g.remove_edge(u, v)
+        try:
+            return nx.shortest_path(g, u, v, weight=self._edge_weight)
+        except nx.NetworkXNoPath:
+            return None
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state_dict(self) -> dict:
+        """The disabled-link set (routes are recomputed on demand)."""
+        return {"disabled": [_key_str(k) for k in sorted(self._disabled)]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        disabled = {_key_from_str(s) for s in state["disabled"]}
+        for u, v in disabled:
+            if v not in self.topology.neighbors(u):
+                raise ValueError(f"disabled link {u}-{v} not in base topology")
+        self._disabled = disabled
+        self._routes.clear()
+
+
+class LinkHealthMonitor:
+    """EWMA per-link loss estimation with hysteresis-gated deactivation.
+
+    The bus reports every delivery attempt's outcome via
+    :meth:`observe`; :meth:`finish_round` folds the round's per-link
+    loss fractions into EWMA estimates (``FaultConfig.selfheal_alpha``)
+    and flips link state with dwell-based hysteresis: a link must stay
+    past ``selfheal_threshold`` for ``selfheal_min_rounds`` consecutive
+    observed rounds to be disabled, and under ``selfheal_restore`` for
+    the same dwell to come back.  The asymmetric thresholds plus the
+    dwell requirement prevent flapping on noisy estimates.
+    """
+
+    def __init__(self, faults: FaultConfig, overlay: TopologyOverlay) -> None:
+        self.faults = faults
+        self.overlay = overlay
+        self._ewma: dict[tuple[int, int], float] = {}
+        #: current-round accumulators: link -> [attempts, losses]
+        self._acc: dict[tuple[int, int], list[int]] = {}
+        #: consecutive rounds a link's estimate sat past the flip gate.
+        self._dwell: dict[tuple[int, int], int] = {}
+        self.n_links_disabled = 0
+        self.n_links_restored = 0
+        self.n_reroutes = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, u: int, v: int, attempts: int, losses: int) -> None:
+        """Account *attempts* delivery tries (of which *losses* failed)."""
+        if attempts <= 0:
+            return
+        acc = self._acc.setdefault(link_key(u, v), [0, 0])
+        acc[0] += int(attempts)
+        acc[1] += int(losses)
+
+    def count_reroute(self) -> None:
+        """One delivery travelled a detour instead of its direct link."""
+        self.n_reroutes += 1
+
+    def loss_estimate(self, u: int, v: int) -> float:
+        """Current EWMA loss estimate for a link (0.0 before any data)."""
+        return self._ewma.get(link_key(u, v), 0.0)
+
+    def _success(self, key: tuple[int, int]) -> float:
+        """Estimated delivery probability over one link with bounded retries."""
+        est = self._ewma.get(key, 0.0)
+        return max(_MIN_SUCCESS, 1.0 - est ** (self.faults.max_retries + 1))
+
+    def _push_costs(self) -> None:
+        """Install health-derived route weights on the overlay.
+
+        Weight ``1 - log(success)``: a clean link costs one hop, a lossy
+        one proportionally more, so detours minimize expected loss while
+        still preferring short paths.
+        """
+        self.overlay.set_edge_costs(
+            {
+                key: 1.0 - math.log(self._success(key))
+                for key in self._ewma
+            }
+        )
+
+    def _detour_beats_direct(self, key: tuple[int, int]) -> bool:
+        """Would rerouting around *key* deliver better than using it?
+
+        Compares the direct link's retry-adjusted success probability
+        with the product of hop successes along the best health-weighted
+        detour.  This is what stops the monitor from 'healing' onto a
+        path that is even lossier than the link it avoids (e.g. the long
+        way around a ring that is degraded elsewhere).
+        """
+        path = self.overlay.detour_path(*key)
+        if path is None:
+            return False
+        detour = 1.0
+        for u, v in zip(path, path[1:]):
+            detour *= self._success(link_key(u, v))
+        return detour > self._success(key)
+
+    def finish_round(self) -> None:
+        """Fold this round's observations into the estimates and flip links.
+
+        A link is disabled once its estimate sits past the threshold for
+        the dwell *and* the best detour is expected to out-deliver it;
+        it is restored once healthy again — or once its detour stops
+        being the better option (the rest of the fabric degraded).
+        """
+        f = self.faults
+        for key, (attempts, losses) in sorted(self._acc.items()):
+            frac = losses / attempts
+            if key in self._ewma:
+                self._ewma[key] += f.selfheal_alpha * (frac - self._ewma[key])
+            else:
+                self._ewma[key] = frac
+        self._acc = {}
+        self._push_costs()
+        for key in sorted(self._ewma):
+            est = self._ewma[key]
+            if self.overlay.is_disabled(*key):
+                crossing = est < f.selfheal_restore or not self._detour_beats_direct(key)
+            else:
+                crossing = est > f.selfheal_threshold
+            self._dwell[key] = self._dwell.get(key, 0) + 1 if crossing else 0
+            if self._dwell[key] >= f.selfheal_min_rounds:
+                if self.overlay.is_disabled(*key):
+                    if self.overlay.restore(*key):
+                        self.n_links_restored += 1
+                        self._dwell[key] = 0
+                elif self._detour_beats_direct(key) and self.overlay.disable(*key):
+                    self.n_links_disabled += 1
+                    self._dwell[key] = 0
+
+    def counters(self) -> dict[str, int]:
+        """The self-healing decision counters (telemetry export view)."""
+        return {
+            "n_links_disabled": self.n_links_disabled,
+            "n_links_restored": self.n_links_restored,
+            "n_reroutes": self.n_reroutes,
+            "n_links_down": len(self.overlay.disabled_links),
+        }
+
+    def link_estimates(self) -> dict[tuple[int, int], float]:
+        """All current EWMA estimates, keyed by canonical link."""
+        return dict(self._ewma)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def state_dict(self) -> dict:
+        """Estimates, accumulators, dwell counters and decision tallies."""
+        return {
+            "ewma": {_key_str(k): v for k, v in self._ewma.items()},
+            "acc": {_key_str(k): list(v) for k, v in self._acc.items()},
+            "dwell": {_key_str(k): v for k, v in self._dwell.items()},
+            "n_links_disabled": self.n_links_disabled,
+            "n_links_restored": self.n_links_restored,
+            "n_reroutes": self.n_reroutes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        self._ewma = {_key_from_str(k): float(v) for k, v in state["ewma"].items()}
+        self._acc = {
+            _key_from_str(k): [int(v[0]), int(v[1])] for k, v in state["acc"].items()
+        }
+        self._dwell = {_key_from_str(k): int(v) for k, v in state["dwell"].items()}
+        self.n_links_disabled = int(state["n_links_disabled"])
+        self.n_links_restored = int(state["n_links_restored"])
+        self.n_reroutes = int(state["n_reroutes"])
+        # Route weights are derived state: reinstall them so detours
+        # chosen between resume and the next round match the
+        # uninterrupted run exactly.
+        self._push_costs()

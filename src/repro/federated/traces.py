@@ -1,0 +1,281 @@
+"""Replayable link-failure traces (LinkGuardian-style burst faults).
+
+The i.i.d. fault model in :class:`~repro.config.FaultConfig` draws every
+message's fate independently; production networks instead fail in
+*bursts* — a link degrades for minutes-to-hours with some loss rate and
+is then repaired.  Following LinkGuardian's trace-generator design
+(SIGCOMM'23, Appendix D), this module expands a
+:class:`~repro.config.TraceConfig` against a concrete
+:class:`~repro.federated.topology.Topology` into a
+:class:`FaultTrace`: a sorted sequence of
+``(round, link, loss_rate, duration)`` episodes, stamped with a digest
+of the topology it was generated for.
+
+The digest is validated whenever a trace is attached to a fabric or
+loaded from disk (mirroring the config-digest resume guard in
+:meth:`repro.core.system.PFDRLSystem.resume_from`): replaying a trace
+against a different topology would silently misattribute failures, so it
+raises :class:`TraceDigestError` instead.
+
+Generation is a pure function of ``(TraceConfig, Topology)`` — the same
+seed replays the identical trace, which is what makes monitor-on vs
+monitor-off comparisons (``repro.experiments.selfheal``) exact: both
+runs see the *same* failures at the same rounds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import TraceConfig
+from repro.federated.topology import Topology
+from repro.rng import hash_seed
+
+__all__ = [
+    "TraceEpisode",
+    "FaultTrace",
+    "FaultTraceGenerator",
+    "TraceDigestError",
+    "topology_digest",
+]
+
+#: On-disk format version for :meth:`FaultTrace.save`.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceDigestError(ValueError):
+    """A trace is being replayed against a topology it was not made for."""
+
+
+def topology_digest(topology: Topology) -> str:
+    """SHA-256 fingerprint of a topology's name, size and edge set."""
+    blob = json.dumps(
+        {
+            "name": topology.name,
+            "n_agents": topology.n_agents,
+            "edges": sorted(tuple(sorted(e)) for e in topology.graph.edges),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceEpisode:
+    """One burst: link (``src``, ``dst``) is lossy for ``duration`` rounds.
+
+    ``round`` is the first broadcast round the episode is active in;
+    the episode covers rounds ``[round, round + duration)``.  While
+    active, deliveries over the link drop with ``loss_rate`` and corrupt
+    with ``corrupt_rate`` (both replacing the global i.i.d. rates).
+    """
+
+    round: int
+    src: int
+    dst: int
+    loss_rate: float
+    duration: int
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.round < 0 or self.duration < 1:
+            raise ValueError("episode needs round >= 0 and duration >= 1")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.corrupt_rate < 1.0:
+            raise ValueError("corrupt_rate must be in [0, 1)")
+
+    @property
+    def link(self) -> tuple[int, int]:
+        """Canonical (undirected) link key."""
+        return (self.src, self.dst) if self.src <= self.dst else (self.dst, self.src)
+
+    @property
+    def end_round(self) -> int:
+        """First round the episode is no longer active in."""
+        return self.round + self.duration
+
+
+@dataclass(frozen=True)
+class FaultTrace:
+    """A replayable failure schedule for one topology.
+
+    Episodes are sorted by ``(round, src, dst)`` so a single cursor can
+    replay them; ``topology_sha256`` stamps the topology the trace was
+    generated for and is validated by :meth:`validate` before replay.
+    """
+
+    episodes: tuple[TraceEpisode, ...]
+    topology_sha256: str
+    n_rounds: int
+    topology_name: str = ""
+    n_agents: int = 0
+
+    def __post_init__(self) -> None:
+        order = [(e.round, e.src, e.dst) for e in self.episodes]
+        if order != sorted(order):
+            raise ValueError("episodes must be sorted by (round, src, dst)")
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+    def validate(self, topology: Topology) -> "FaultTrace":
+        """Refuse replay against a topology the trace was not made for."""
+        actual = topology_digest(topology)
+        if actual != self.topology_sha256:
+            raise TraceDigestError(
+                "fault trace was generated for a different topology "
+                f"(digest {self.topology_sha256[:12]}… vs {actual[:12]}…); "
+                "replaying it here would misattribute link failures"
+            )
+        return self
+
+    def digest(self) -> str:
+        """SHA-256 over the full episode list — the checkpoint guard.
+
+        Captured in :meth:`repro.federated.faults.FaultyBus.state_dict`
+        so a resume under a *different* trace is refused rather than
+        silently diverging.
+        """
+        blob = json.dumps(
+            {
+                "topology": self.topology_sha256,
+                "n_rounds": self.n_rounds,
+                "episodes": [
+                    [e.round, e.src, e.dst, e.loss_rate, e.duration, e.corrupt_rate]
+                    for e in self.episodes
+                ],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def active_at(self, round: int) -> dict[tuple[int, int], TraceEpisode]:
+        """The episodes covering *round*, keyed by canonical link."""
+        return {
+            e.link: e
+            for e in self.episodes
+            if e.round <= round < e.end_round
+        }
+
+    def mean_loss_rate(self) -> float:
+        """Episode-weighted mean loss rate (0.0 for an empty trace)."""
+        if not self.episodes:
+            return 0.0
+        return float(np.mean([e.loss_rate for e in self.episodes]))
+
+    # ------------------------------------------------------------------
+    # On-disk format: one JSON document carrying the topology stamp so a
+    # simulator can check the trace matches the network it runs on.
+    def save(self, path: str | Path) -> Path:
+        """Write the trace (with its topology stamp) as a JSON file."""
+        path = Path(path)
+        doc = {
+            "format_version": TRACE_FORMAT_VERSION,
+            "topology": {
+                "sha256": self.topology_sha256,
+                "name": self.topology_name,
+                "n_agents": self.n_agents,
+            },
+            "n_rounds": self.n_rounds,
+            "episodes": [
+                {
+                    "round": e.round,
+                    "src": e.src,
+                    "dst": e.dst,
+                    "loss_rate": e.loss_rate,
+                    "duration": e.duration,
+                    "corrupt_rate": e.corrupt_rate,
+                }
+                for e in self.episodes
+            ],
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path, topology: Topology | None = None) -> "FaultTrace":
+        """Read a trace; with *topology* given, validate its digest too."""
+        doc = json.loads(Path(path).read_text())
+        version = doc.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version!r}")
+        trace = cls(
+            episodes=tuple(
+                TraceEpisode(
+                    round=int(e["round"]),
+                    src=int(e["src"]),
+                    dst=int(e["dst"]),
+                    loss_rate=float(e["loss_rate"]),
+                    duration=int(e["duration"]),
+                    corrupt_rate=float(e.get("corrupt_rate", 0.0)),
+                )
+                for e in doc["episodes"]
+            ),
+            topology_sha256=str(doc["topology"]["sha256"]),
+            n_rounds=int(doc["n_rounds"]),
+            topology_name=str(doc["topology"].get("name", "")),
+            n_agents=int(doc["topology"].get("n_agents", 0)),
+        )
+        if topology is not None:
+            trace.validate(topology)
+        return trace
+
+
+class FaultTraceGenerator:
+    """Expand a :class:`~repro.config.TraceConfig` into a :class:`FaultTrace`.
+
+    Per link (in sorted edge order, so the schedule is independent of
+    graph iteration quirks): failure inter-arrivals are exponential with
+    mean ``mttf_rounds``, episode durations exponential with mean
+    ``repair_rounds`` (floored at one round), and episode loss rates are
+    drawn log-uniform in ``[loss_rate_min, loss_rate_max]``.  Every draw
+    comes from one generator seeded from ``TraceConfig.seed`` — the same
+    config and topology always produce the identical trace.
+    """
+
+    def __init__(self, topology: Topology, config: TraceConfig) -> None:
+        self.topology = topology
+        self.config = config
+
+    def generate(self) -> FaultTrace:
+        """The deterministic trace for this (topology, config) pair."""
+        cfg = self.config
+        rng = np.random.default_rng(hash_seed(cfg.seed, "fault-trace"))
+        log_lo = np.log(cfg.loss_rate_min)
+        log_hi = np.log(cfg.loss_rate_max)
+        episodes: list[TraceEpisode] = []
+        for src, dst in sorted(tuple(sorted(e)) for e in self.topology.graph.edges):
+            t = 0.0
+            while True:
+                t += 1.0 + rng.exponential(cfg.mttf_rounds)
+                start = int(t)
+                if start >= cfg.n_rounds:
+                    break
+                duration = max(1, int(round(rng.exponential(cfg.repair_rounds))))
+                duration = min(duration, cfg.n_rounds - start)
+                loss = float(np.exp(rng.uniform(log_lo, log_hi)))
+                episodes.append(
+                    TraceEpisode(
+                        round=start,
+                        src=src,
+                        dst=dst,
+                        loss_rate=loss,
+                        duration=duration,
+                        corrupt_rate=cfg.corrupt_fraction * loss,
+                    )
+                )
+                t = float(start + duration)
+        episodes.sort(key=lambda e: (e.round, e.src, e.dst))
+        return FaultTrace(
+            episodes=tuple(episodes),
+            topology_sha256=topology_digest(self.topology),
+            n_rounds=cfg.n_rounds,
+            topology_name=self.topology.name,
+            n_agents=self.topology.n_agents,
+        )

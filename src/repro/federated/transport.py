@@ -107,6 +107,16 @@ class TransportStats:
     #: Snapshot restores performed by the recovery mode (an agent coming
     #: back from crash churn reloading its last durable checkpoint).
     n_restores: int = 0
+    #: Deliveries suppressed because the *sender* was offline (the radio
+    #: never keyed up — distinct from ``n_dropped``, which counts losses
+    #: of transmissions that did happen).
+    n_sender_offline: int = 0
+    #: Per-link delivery accounting, keyed by directed ``(src, dst)``:
+    #: delivery attempts, link-level retransmissions, final losses and
+    #: successful deliveries.  Populated by the fault fabric so loss is
+    #: attributable to *links* rather than agents; stays empty on the
+    #: reliable bus.
+    per_link: dict[tuple[int, int], dict[str, int]] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
         """Scalar counters as one flat dict (the telemetry export view).
@@ -127,23 +137,69 @@ class TransportStats:
             "n_stale_rejected": self.n_stale_rejected,
             "n_quorum_skips": self.n_quorum_skips,
             "n_restores": self.n_restores,
+            "n_sender_offline": self.n_sender_offline,
         }
 
+    def delivery_ratio(self) -> float:
+        """Fraction of intended deliveries that actually arrived.
+
+        Successes over successes plus final losses plus deliveries the
+        offline sender never transmitted; 1.0 when nothing was attempted.
+        """
+        attempted = self.n_messages + self.n_dropped + self.n_sender_offline
+        if attempted == 0:
+            return 1.0
+        return self.n_messages / attempted
+
+    def record_link(
+        self,
+        src: int,
+        dst: int,
+        *,
+        attempts: int = 0,
+        retransmits: int = 0,
+        dropped: int = 0,
+        delivered: int = 0,
+    ) -> None:
+        """Attribute delivery outcomes to the directed link ``src -> dst``."""
+        link = self.per_link.get((src, dst))
+        if link is None:
+            link = self.per_link[(src, dst)] = {
+                "attempts": 0,
+                "retransmits": 0,
+                "dropped": 0,
+                "delivered": 0,
+            }
+        link["attempts"] += attempts
+        link["retransmits"] += retransmits
+        link["dropped"] += dropped
+        link["delivered"] += delivered
+
     def state_dict(self) -> dict:
-        """Complete mutable state as a checkpointable tree."""
-        """All counters, including the per-agent/per-tag breakdowns."""
+        """Complete mutable state as a checkpointable tree: every scalar
+        counter plus the per-agent / per-tag / per-link breakdowns."""
         return {
             **self.as_dict(),
             "per_agent_sent": {str(k): v for k, v in self.per_agent_sent.items()},
             "per_tag_params": dict(self.per_tag_params),
+            "per_link": {
+                f"{src}->{dst}": dict(counters)
+                for (src, dst), counters in self.per_link.items()
+            },
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore :meth:`state_dict` output in place."""
         for name in self.as_dict():
-            setattr(self, name, int(state[name]))
+            setattr(self, name, int(state.get(name, 0)))
         self.per_agent_sent = {int(k): int(v) for k, v in state["per_agent_sent"].items()}
         self.per_tag_params = {k: int(v) for k, v in state["per_tag_params"].items()}
+        self.per_link = {}
+        for key, counters in state.get("per_link", {}).items():
+            src, dst = key.split("->")
+            self.per_link[(int(src), int(dst))] = {
+                k: int(v) for k, v in counters.items()
+            }
 
     def record(self, msg: Message, count_tx: bool = True) -> None:
         self.n_messages += 1
@@ -207,20 +263,31 @@ class MessageBus:
         self._mailboxes[msg.dst].append(msg)
         self.stats.record(msg, count_tx=count_tx)
 
+    def _sender_on_air(self, src: int) -> bool:
+        """Whether *src*'s radio actually transmits (hook for fault fabrics)."""
+        return True
+
+    def _route_neighbors(self, src: int) -> list[int]:
+        """Broadcast receiver set for *src* (hook for routing overlays)."""
+        return self.topology.neighbors(src)
+
     def broadcast(self, src: int, payload: Sequence[np.ndarray], tag: str = "") -> int:
         """Deliver to every neighbour of *src*; returns receiver count.
 
         Counts as ONE transmission in ``stats.n_tx_params`` (a shared-
         medium broadcast), while every neighbour still receives a copy.
-        An agent with zero neighbours still transmits once (nobody is
-        listening, but the radio cost is real and is accounted).
+        The transmission is charged up front, independent of per-link
+        delivery outcomes — a radio broadcast costs the same whether or
+        not any particular receiver hears it.  An agent with zero
+        neighbours still transmits once (nobody is listening, but the
+        radio cost is real and is accounted); only an offline sender
+        (``_sender_on_air``) transmits nothing.
         """
-        neighbors = self.topology.neighbors(src)
-        if not neighbors:
+        if self._sender_on_air(src):
             self.stats.n_tx_params += sum(int(np.asarray(a).size) for a in payload)
-            return 0
-        for i, dst in enumerate(neighbors):
-            self.send(src, dst, payload, tag=tag, _count_tx=(i == 0))
+        neighbors = self._route_neighbors(src)
+        for dst in neighbors:
+            self.send(src, dst, payload, tag=tag, _count_tx=False)
         return len(neighbors)
 
     def advance_round(self) -> None:
@@ -250,8 +317,8 @@ class MessageBus:
     # ------------------------------------------------------------------
     # Persistence
     def state_dict(self) -> dict:
-        """Complete mutable state as a checkpointable tree."""
-        """Round counter, cumulative stats and every queued mailbox."""
+        """Complete mutable state as a checkpointable tree: the round
+        counter, cumulative stats and every queued mailbox."""
         return {
             "round": self.round,
             "stats": self.stats.state_dict(),

@@ -92,6 +92,23 @@ class Telemetry:
         for name, value in stats.as_dict().items():
             self.gauge(f"{prefix}.{name}", value)
 
+    def record_links(self, stats, prefix: str = "transport") -> None:
+        """Mirror the per-link breakdown of a
+        :class:`~repro.federated.transport.TransportStats` into gauges as
+        ``{prefix}.link.{src}->{dst}.{counter}`` so loss is attributable
+        to individual links in the export."""
+        for (src, dst), counters in stats.per_link.items():
+            for name, value in counters.items():
+                self.gauge(f"{prefix}.link.{src}->{dst}.{name}", value)
+
+    def record_selfheal(self, monitor, prefix: str = "selfheal") -> None:
+        """Mirror a :class:`~repro.federated.selfheal.LinkHealthMonitor`'s
+        decision counters and EWMA loss estimates into gauges."""
+        for name, value in monitor.counters().items():
+            self.gauge(f"{prefix}.{name}", value)
+        for (u, v), est in monitor.link_estimates().items():
+            self.gauge(f"{prefix}.ewma.{u}-{v}", est)
+
     # -- persistence ---------------------------------------------------
     def state_dict(self) -> dict:
         """Counters, gauges, stopwatch totals and the journal so far."""
@@ -183,6 +200,12 @@ class NullTelemetry(Telemetry):
         return None
 
     def record_transport(self, stats, prefix: str = "transport") -> None:
+        return None
+
+    def record_links(self, stats, prefix: str = "transport") -> None:
+        return None
+
+    def record_selfheal(self, monitor, prefix: str = "selfheal") -> None:
         return None
 
     def timing_record(self, label: str) -> TimingRecord:

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13_forecast_time,
     fig14_ems_time,
     headline,
+    selfheal,
     small_profile,
     table01_reward,
     table02_methods,
@@ -208,12 +209,37 @@ class TestAblations:
         assert r.notes["broadcast_ratio"] > 1.0
 
 
+class TestSelfheal:
+    def test_structure(self, tiny):
+        r = selfheal.run(
+            tiny,
+            severities=(
+                ("none", None),
+                ("severe", dict(mttf_rounds=8.0, repair_rounds=8.0,
+                                loss_rate_min=0.75, loss_rate_max=0.95)),
+            ),
+            policies=(("open", dict(quorum_fraction=0.0, staleness_horizon=0)),),
+        )
+        for name in ("delivery monitor=on", "delivery monitor=off",
+                     "reward monitor=on", "reward monitor=off"):
+            assert r[name].x == [0, 1]
+            assert all(np.isfinite(v) for v in r[name].y)
+        # Trace-free rung: nothing to heal, nothing lost.
+        assert r["delivery monitor=on"].y[0] == 1.0
+        assert r["delivery monitor=off"].y[0] == 1.0
+        assert r.notes["reroutes_none"] == 0
+        # Severe rung: losses visible in both arms.
+        assert r["delivery monitor=off"].y[1] < 1.0
+        assert "delivery_gain_severe" in r.notes
+
+
 class TestReport:
     def test_registry_covers_all_artefacts(self):
         expected = {f"fig{i:02d}" for i in range(2, 15)}
         have = {name[:5] for name in EXPERIMENTS if name.startswith("fig")}
         assert have == expected
         assert {"table01_reward", "table02_methods", "headline"} <= set(EXPERIMENTS)
+        assert {"robustness", "selfheal"} <= set(EXPERIMENTS)
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(KeyError):

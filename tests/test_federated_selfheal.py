@@ -1,0 +1,291 @@
+"""Self-healing federation: overlay routing, health monitor, telemetry.
+
+Contracts under test: the overlay only disables links that keep a
+detour, routes deterministically around disabled links, and never
+changes who a broadcast reaches; the monitor needs sustained evidence
+(hysteresis) before flipping a link, restores it after recovery, and
+only heals when the detour is actually expected to out-deliver the
+direct link; the whole stack checkpoints bit-identically and beats
+retries-only delivery under a severe replayed trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig, TraceConfig
+from repro.federated.faults import FaultyBus, make_bus
+from repro.federated.selfheal import LinkHealthMonitor, TopologyOverlay, link_key
+from repro.federated.topology import make_topology
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+RING = make_topology("ring", 5)
+PAYLOAD = [np.ones((4, 4)), np.arange(3.0)]
+
+SEVERE = TraceConfig(
+    mttf_rounds=30.0,
+    repair_rounds=16.0,
+    loss_rate_min=0.75,
+    loss_rate_max=0.95,
+    n_rounds=32,
+    seed=5,
+)
+
+
+def heal_faults(trace=SEVERE, **kw):
+    return FaultConfig(trace=trace, selfheal=True, seed=7, **kw)
+
+
+def drive(bus, rounds=32):
+    n = bus.topology.n_agents
+    for _ in range(rounds):
+        for a in range(n):
+            if bus.sends_this_round(a):
+                bus.broadcast(a, PAYLOAD, tag="w")
+        for a in range(n):
+            bus.collect(a)
+        bus.advance_round()
+    return bus
+
+
+class TestLinkKey:
+    def test_canonical_order(self):
+        assert link_key(3, 1) == (1, 3)
+        assert link_key(1, 3) == (1, 3)
+
+
+class TestTopologyOverlay:
+    def test_disable_reroutes_the_long_way_round(self):
+        overlay = TopologyOverlay(RING)
+        assert overlay.route(0, 1) == [0, 1]
+        assert overlay.disable(0, 1)
+        assert overlay.is_disabled(0, 1) and overlay.is_disabled(1, 0)
+        # The only detour on a 5-ring is the full arc the other way.
+        assert overlay.route(0, 1) == [0, 4, 3, 2, 1]
+        assert overlay.route(1, 0) == [1, 2, 3, 4, 0]
+
+    def test_neighbors_keep_the_logical_receiver_set(self):
+        overlay = TopologyOverlay(RING)
+        overlay.disable(0, 1)
+        # Disabling changes how payloads travel, not who receives them.
+        assert overlay.neighbors(0) == RING.neighbors(0)
+
+    def test_refuses_to_disconnect(self):
+        star = make_topology("star", 5)
+        overlay = TopologyOverlay(star)
+        assert not overlay.disable(0, 1)  # hub link: no detour exists
+        assert overlay.disabled_links == []
+        # And on a ring, a second removal would cut the cycle.
+        overlay = TopologyOverlay(RING)
+        assert overlay.disable(0, 1)
+        assert not overlay.disable(2, 3)
+        assert overlay.disabled_links == [(0, 1)]
+
+    def test_disable_unknown_or_repeated_link(self):
+        overlay = TopologyOverlay(RING)
+        assert not overlay.disable(0, 2)  # not a ring edge
+        assert overlay.disable(0, 1)
+        assert not overlay.disable(1, 0)  # already disabled
+        assert overlay.restore(1, 0)
+        assert not overlay.restore(0, 1)  # already restored
+
+    def test_cost_aware_detour_on_mesh(self):
+        mesh = make_topology("full", 4)
+        overlay = TopologyOverlay(mesh)
+        overlay.disable(0, 1)
+        # With relay 2 marked lossy, the detour must go via relay 3.
+        overlay.set_edge_costs({(0, 2): 5.0, (1, 2): 5.0})
+        assert overlay.route(0, 1) == [0, 3, 1]
+
+    def test_state_roundtrip(self):
+        overlay = TopologyOverlay(RING)
+        overlay.disable(1, 2)
+        restored = TopologyOverlay(RING)
+        restored.load_state_dict(overlay.state_dict())
+        assert restored.disabled_links == [(1, 2)]
+        assert restored.route(1, 2) == overlay.route(1, 2)
+
+    def test_load_rejects_foreign_links(self):
+        overlay = TopologyOverlay(RING)
+        with pytest.raises(ValueError):
+            overlay.load_state_dict({"disabled": ["0-2"]})
+
+
+class TestLinkHealthMonitor:
+    def faults(self, **kw):
+        defaults = dict(
+            trace=SEVERE,
+            selfheal=True,
+            selfheal_threshold=0.35,
+            selfheal_restore=0.1,
+            selfheal_alpha=0.4,
+            selfheal_min_rounds=2,
+            seed=7,
+        )
+        defaults.update(kw)
+        return FaultConfig(**defaults)
+
+    def make(self, **kw):
+        overlay = TopologyOverlay(RING)
+        return LinkHealthMonitor(self.faults(**kw), overlay), overlay
+
+    def test_ewma_tracks_observed_loss(self):
+        monitor, _ = self.make()
+        monitor.observe(0, 1, attempts=10, losses=5)
+        monitor.finish_round()
+        assert monitor.loss_estimate(0, 1) == 0.5
+        monitor.observe(0, 1, attempts=10, losses=0)
+        monitor.finish_round()
+        assert monitor.loss_estimate(0, 1) == pytest.approx(0.3)
+
+    def test_hysteresis_requires_sustained_evidence(self):
+        monitor, overlay = self.make()
+        monitor.observe(0, 1, attempts=10, losses=9)
+        monitor.finish_round()
+        assert overlay.disabled_links == []  # one bad round is not enough
+        monitor.observe(0, 1, attempts=10, losses=9)
+        monitor.finish_round()
+        assert overlay.disabled_links == [(0, 1)]
+        assert monitor.n_links_disabled == 1
+
+    def test_restore_after_recovery(self):
+        monitor, overlay = self.make()
+        for _ in range(2):
+            monitor.observe(0, 1, attempts=10, losses=9)
+            monitor.finish_round()
+        assert overlay.is_disabled(0, 1)
+        # Probes now see a clean link: the estimate decays below the
+        # restore threshold and, after the dwell, the link comes back.
+        for _ in range(12):
+            monitor.observe(0, 1, attempts=4, losses=0)
+            monitor.finish_round()
+        assert not overlay.is_disabled(0, 1)
+        assert monitor.n_links_restored == 1
+
+    def test_never_heals_onto_a_worse_path(self):
+        # Mark the whole rest of the ring as badly lossy: the detour
+        # around (0, 1) cannot out-deliver the direct link, so the
+        # monitor must keep it active no matter how bad it looks.
+        monitor, overlay = self.make()
+        for _ in range(4):
+            for u, v in [(1, 2), (2, 3), (3, 4), (0, 4)]:
+                monitor.observe(u, v, attempts=10, losses=9)
+            monitor.observe(0, 1, attempts=10, losses=8)
+            monitor.finish_round()
+        assert overlay.disabled_links == []
+        assert monitor.n_links_disabled == 0
+
+    def test_state_roundtrip_preserves_decisions(self):
+        monitor, overlay = self.make()
+        monitor.observe(0, 1, attempts=10, losses=9)
+        monitor.finish_round()
+        monitor.observe(0, 1, attempts=7, losses=6)
+        monitor.count_reroute()
+
+        overlay2 = TopologyOverlay(RING)
+        monitor2 = LinkHealthMonitor(self.faults(), overlay2)
+        overlay2.load_state_dict(overlay.state_dict())
+        monitor2.load_state_dict(monitor.state_dict())
+        assert monitor2.state_dict() == monitor.state_dict()
+
+        monitor.finish_round()
+        monitor2.finish_round()
+        assert monitor2.loss_estimate(0, 1) == monitor.loss_estimate(0, 1)
+        assert overlay2.disabled_links == overlay.disabled_links
+
+
+class TestSelfHealingBus:
+    def test_selfheal_alone_activates_faults(self):
+        fc = FaultConfig(selfheal=True)
+        assert fc.active
+        bus = make_bus(RING, fc)
+        assert isinstance(bus, FaultyBus)
+        assert bus.monitor is not None
+
+    def test_no_reroutes_without_faults(self):
+        bus = drive(make_bus(RING, FaultConfig(selfheal=True)), rounds=10)
+        assert bus.monitor.counters()["n_reroutes"] == 0
+        assert bus.stats.delivery_ratio() == 1.0
+
+    def test_monitor_beats_retries_only_under_severe_trace(self):
+        on = drive(make_bus(RING, heal_faults()))
+        off = drive(make_bus(RING, FaultConfig(trace=SEVERE, seed=7)))
+        counters = on.monitor.counters()
+        assert counters["n_links_disabled"] >= 1
+        assert counters["n_reroutes"] > 0
+        assert on.stats.delivery_ratio() > off.stats.delivery_ratio()
+
+    def test_same_seed_identical_run(self):
+        a = drive(make_bus(RING, heal_faults()))
+        b = drive(make_bus(RING, heal_faults()))
+        assert a.stats == b.stats
+        assert a.monitor.state_dict() == b.monitor.state_dict()
+
+    def test_mid_run_resume_bit_identical(self):
+        full = drive(make_bus(RING, heal_faults()), rounds=28)
+
+        part = drive(make_bus(RING, heal_faults()), rounds=13)
+        snap = part.state_dict()
+        resumed = make_bus(RING, heal_faults())
+        resumed.load_state_dict(snap)
+        drive(resumed, rounds=15)
+
+        assert resumed.stats == full.stats
+        assert resumed.monitor.state_dict() == full.monitor.state_dict()
+        assert resumed.overlay.state_dict() == full.overlay.state_dict()
+
+    def test_reroute_charges_relay_transmissions(self):
+        bus = make_bus(RING, heal_faults(trace=None))
+        bus.overlay.disable(0, 1)
+        before = bus.stats.n_tx_params
+        bus.send(0, 1, PAYLOAD, _count_tx=False)
+        n_params = sum(int(a.size) for a in PAYLOAD)
+        # 4 physical hops stand in for the single logical link: the 3
+        # relays each retransmit the payload once.
+        assert bus.stats.n_tx_params - before == 3 * n_params
+        assert bus.monitor.counters()["n_reroutes"] == 1
+        assert bus.stats.per_link[(0, 4)]["delivered"] == 1
+
+
+class TestBroadcastAccounting:
+    def test_broadcast_tx_charged_when_first_delivery_drops(self):
+        # Regression (pre-fix this was 0): the shared-medium broadcast
+        # charge rode on the first neighbour's delivery, so a dropped
+        # first delivery erased the whole transmission from the books.
+        fc = FaultConfig(drop_rate=0.95, max_retries=0, seed=0)
+        bus = make_bus(RING, fc)
+        bus.broadcast(0, PAYLOAD, tag="w")
+        n_params = sum(int(a.size) for a in PAYLOAD)
+        assert bus.stats.n_dropped == 2  # this seed loses both deliveries
+        assert bus.stats.n_tx_params == n_params  # but the radio did fire
+
+    def test_broadcast_tx_not_charged_for_offline_sender(self):
+        fc = FaultConfig(crashed_agents=(0,), seed=7)
+        bus = make_bus(RING, fc)
+        bus.broadcast(0, PAYLOAD, tag="w")
+        assert bus.stats.n_tx_params == 0
+        assert bus.stats.n_messages == 0
+
+    def test_sender_offline_deliveries_are_counted(self):
+        fc = FaultConfig(crashed_agents=(0,), seed=7)
+        bus = make_bus(RING, fc)
+        bus.broadcast(0, PAYLOAD, tag="w")
+        assert bus.stats.n_sender_offline == 2  # one per ring neighbour
+        assert bus.stats.n_dropped == 0
+        assert bus.stats.as_dict()["n_sender_offline"] == 2
+        assert bus.stats.delivery_ratio() == 0.0
+
+
+class TestTelemetryExport:
+    def test_per_link_and_selfheal_gauges(self):
+        tel = Telemetry()
+        bus = drive(make_bus(RING, heal_faults()), rounds=16)
+        tel.record_links(bus.stats, prefix="t")
+        tel.record_selfheal(bus.monitor, prefix="h")
+        assert any(k.startswith("t.link.") for k in tel.gauges)
+        assert tel.gauges["h.n_reroutes"] == bus.monitor.n_reroutes
+        assert any(k.startswith("h.ewma.") for k in tel.gauges)
+
+    def test_null_telemetry_is_inert(self):
+        bus = drive(make_bus(RING, heal_faults()), rounds=4)
+        assert NULL_TELEMETRY.record_links(bus.stats) is None
+        assert NULL_TELEMETRY.record_selfheal(bus.monitor) is None

@@ -1,0 +1,251 @@
+"""Replayable fault traces: generation, digests, replay determinism.
+
+The contract under test: a ``TraceConfig`` plus a ``Topology`` is a pure
+function to a ``FaultTrace`` (same seed ⇒ bit-identical trace), the
+trace is stamped with a topology digest that refuses replay elsewhere,
+the trace-driven ``FaultyBus`` replays it deterministically, and the
+trace cursor checkpoints so resume-under-trace is bit-identical.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig, TraceConfig
+from repro.federated.faults import FaultyBus, make_bus
+from repro.federated.topology import make_topology
+from repro.federated.traces import (
+    FaultTrace,
+    FaultTraceGenerator,
+    TraceDigestError,
+    TraceEpisode,
+    topology_digest,
+)
+
+RING = make_topology("ring", 5)
+TRACE_CFG = TraceConfig(
+    mttf_rounds=8.0,
+    repair_rounds=5.0,
+    loss_rate_min=0.4,
+    loss_rate_max=0.9,
+    n_rounds=24,
+    seed=3,
+)
+PAYLOAD = [np.ones((4, 4)), np.arange(3.0)]
+
+
+def drive(bus, rounds=20):
+    """Broadcast from every live agent for *rounds* bus rounds."""
+    n = bus.topology.n_agents
+    for _ in range(rounds):
+        for a in range(n):
+            if bus.sends_this_round(a):
+                bus.broadcast(a, PAYLOAD, tag="w")
+        for a in range(n):
+            bus.collect(a)
+        bus.advance_round()
+    return bus
+
+
+class TestTraceConfigValidation:
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            TraceConfig(mttf_rounds=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(repair_rounds=-1.0)
+
+    def test_rejects_bad_loss_band(self):
+        with pytest.raises(ValueError):
+            TraceConfig(loss_rate_min=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(loss_rate_min=0.6, loss_rate_max=0.5)
+        with pytest.raises(ValueError):
+            TraceConfig(loss_rate_max=1.0)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            TraceConfig(n_rounds=0)
+
+
+class TestEpisodeValidation:
+    def test_link_key_is_canonical(self):
+        e = TraceEpisode(round=1, src=3, dst=1, loss_rate=0.5, duration=2)
+        assert e.link == (1, 3)
+        assert e.end_round == 3
+
+    def test_rejects_invalid_fields(self):
+        with pytest.raises(ValueError):
+            TraceEpisode(round=-1, src=0, dst=1, loss_rate=0.5, duration=1)
+        with pytest.raises(ValueError):
+            TraceEpisode(round=0, src=0, dst=1, loss_rate=1.0, duration=1)
+        with pytest.raises(ValueError):
+            TraceEpisode(round=0, src=0, dst=1, loss_rate=0.5, duration=0)
+
+
+class TestGenerator:
+    def test_same_seed_identical_trace(self):
+        a = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        b = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_different_seed_different_trace(self):
+        a = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        import dataclasses
+
+        other = dataclasses.replace(TRACE_CFG, seed=TRACE_CFG.seed + 1)
+        b = FaultTraceGenerator(RING, other).generate()
+        assert a.digest() != b.digest()
+
+    def test_episodes_respect_config_bounds(self):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        assert len(trace) > 0
+        edges = {tuple(sorted(e)) for e in RING.graph.edges}
+        for e in trace.episodes:
+            assert 1 <= e.round < TRACE_CFG.n_rounds
+            assert e.end_round <= TRACE_CFG.n_rounds
+            assert e.duration >= 1
+            assert TRACE_CFG.loss_rate_min <= e.loss_rate <= TRACE_CFG.loss_rate_max
+            assert e.link in edges
+
+    def test_episodes_per_link_never_overlap(self):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        by_link = {}
+        for e in trace.episodes:
+            by_link.setdefault(e.link, []).append(e)
+        for eps in by_link.values():
+            for prev, nxt in zip(eps, eps[1:]):
+                assert prev.end_round <= nxt.round
+
+    def test_active_at_matches_episode_spans(self):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        e = trace.episodes[0]
+        assert e.link in trace.active_at(e.round)
+        assert e.link in trace.active_at(e.end_round - 1)
+        active_after = trace.active_at(e.end_round)
+        assert active_after.get(e.link) is not e
+
+    def test_trace_is_topology_stamped(self):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        assert trace.topology_sha256 == topology_digest(RING)
+        trace.validate(RING)  # no raise
+        with pytest.raises(TraceDigestError):
+            trace.validate(make_topology("full", 5))
+        with pytest.raises(TraceDigestError):
+            trace.validate(make_topology("ring", 6))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        path = trace.save(tmp_path / "trace.json")
+        loaded = FaultTrace.load(path, RING)
+        assert loaded == trace
+        assert loaded.digest() == trace.digest()
+
+    def test_load_against_wrong_topology_raises(self, tmp_path):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        path = trace.save(tmp_path / "trace.json")
+        with pytest.raises(TraceDigestError):
+            FaultTrace.load(path, make_topology("star", 5))
+
+    def test_load_rejects_unknown_format_version(self, tmp_path):
+        trace = FaultTraceGenerator(RING, TRACE_CFG).generate()
+        path = trace.save(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            FaultTrace.load(path)
+
+
+class TestTraceDrivenBus:
+    def faults(self, **kw):
+        return FaultConfig(trace=TRACE_CFG, seed=7, **kw)
+
+    def test_trace_activates_fault_config(self):
+        assert self.faults().active
+        assert isinstance(make_bus(RING, self.faults()), FaultyBus)
+
+    def test_same_seed_identical_stats(self):
+        a = drive(make_bus(RING, self.faults()))
+        b = drive(make_bus(RING, self.faults()))
+        assert a.stats == b.stats
+
+    def test_trace_injects_losses(self):
+        bus = drive(make_bus(RING, self.faults()))
+        assert bus.stats.n_dropped + bus.stats.n_retransmits > 0
+        assert bus.stats.delivery_ratio() < 1.0
+
+    def test_clean_links_are_lossless(self):
+        # An all-but-empty trace (no episodes in the driven window)
+        # must deliver everything: clean links have zero loss in trace
+        # mode regardless of the global drop_rate knob.
+        sparse = TraceConfig(
+            mttf_rounds=1e6, repair_rounds=2.0, n_rounds=24, seed=1
+        )
+        bus = drive(make_bus(RING, FaultConfig(trace=sparse, seed=7)))
+        assert bus.stats.n_dropped == 0
+        assert bus.stats.n_retransmits == 0
+        assert bus.stats.delivery_ratio() == 1.0
+
+    def test_explicit_trace_validated_against_topology(self):
+        trace = FaultTraceGenerator(make_topology("full", 5), TRACE_CFG).generate()
+        with pytest.raises(TraceDigestError):
+            FaultyBus(RING, self.faults(), trace=trace)
+
+    def test_per_link_counters_cover_lossy_links(self):
+        bus = drive(make_bus(RING, self.faults()))
+        assert bus.stats.per_link
+        totals = {k: 0 for k in ("attempts", "retransmits", "dropped", "delivered")}
+        for counters in bus.stats.per_link.values():
+            for k in totals:
+                totals[k] += counters[k]
+        assert totals["retransmits"] == bus.stats.n_retransmits
+        assert totals["dropped"] == bus.stats.n_dropped
+        assert totals["delivered"] == bus.stats.n_messages
+
+
+class TestTraceCursorResume:
+    def faults(self):
+        return FaultConfig(trace=TRACE_CFG, seed=7)
+
+    def test_mid_trace_resume_bit_identical(self):
+        full = drive(make_bus(RING, self.faults()), rounds=20)
+
+        part = drive(make_bus(RING, self.faults()), rounds=9)
+        snap = part.state_dict()
+        resumed = make_bus(RING, self.faults())
+        resumed.load_state_dict(snap)
+        drive(resumed, rounds=11)
+
+        assert resumed.stats == full.stats
+        assert resumed._trace_cursor == full._trace_cursor
+        assert resumed._active_episodes == full._active_episodes
+
+    def test_state_dict_carries_trace_digest(self):
+        bus = make_bus(RING, self.faults())
+        state = bus.state_dict()
+        assert state["trace_digest"] == bus.trace.digest()
+        assert state["trace_cursor"] == 0
+
+    def test_resume_under_different_trace_refused(self):
+        snap = drive(make_bus(RING, self.faults()), rounds=5).state_dict()
+        import dataclasses
+
+        other = FaultConfig(
+            trace=dataclasses.replace(TRACE_CFG, seed=TRACE_CFG.seed + 1), seed=7
+        )
+        bus = make_bus(RING, other)
+        with pytest.raises(ValueError):
+            bus.load_state_dict(snap)
+
+    def test_resume_without_trace_refused_both_ways(self):
+        with_trace = drive(make_bus(RING, self.faults()), rounds=5).state_dict()
+        no_trace = FaultConfig(drop_rate=0.1, seed=7)
+        with pytest.raises(ValueError):
+            make_bus(RING, no_trace).load_state_dict(with_trace)
+        plain_snap = drive(make_bus(RING, no_trace), rounds=5).state_dict()
+        with pytest.raises(ValueError):
+            make_bus(RING, self.faults()).load_state_dict(plain_snap)

@@ -18,6 +18,7 @@ from repro.config import (
     FaultConfig,
     ForecastConfig,
     PFDRLConfig,
+    TraceConfig,
 )
 from repro.core import PFDRLSystem
 from repro.core.streams import build_streams
@@ -237,3 +238,59 @@ class TestFaultyResume:
             checkpoint_store=store, resume=True
         )
         assert deep_equal(full.to_dict(), resumed.to_dict())
+
+
+class TestTraceResume:
+    """Resume-under-trace: the replayed fault schedule must survive the
+    checkpoint boundary bit-identically, self-healing state included."""
+
+    def trace_faults(self, selfheal=False):
+        return FaultConfig(
+            trace=TraceConfig(
+                mttf_rounds=4.0,
+                repair_rounds=3.0,
+                loss_rate_min=0.5,
+                loss_rate_max=0.9,
+                n_rounds=32,
+                seed=3,
+            ),
+            selfheal=selfheal,
+            seed=11,
+        )
+
+    @pytest.mark.parametrize("selfheal", [False, True])
+    def test_trace_resume_bit_identical(self, tmp_path, selfheal):
+        faults = self.trace_faults(selfheal)
+        full = PFDRLSystem(make_config(faults)).run()
+
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted):
+            PFDRLSystem(make_config(faults)).run(
+                checkpoint_store=store, stop_after_step=4
+            )
+        resumed = PFDRLSystem(make_config(faults)).run(
+            checkpoint_store=store, resume=True
+        )
+        assert deep_equal(full.to_dict(), resumed.to_dict())
+
+    def test_trace_run_differs_from_fault_free(self):
+        clean = PFDRLSystem(make_config()).run()
+        traced = PFDRLSystem(make_config(self.trace_faults())).run()
+        assert not deep_equal(clean.to_dict(), traced.to_dict())
+
+    def test_different_trace_seed_refused_at_resume(self, tmp_path):
+        import dataclasses
+
+        faults = self.trace_faults()
+        store = CheckpointStore(tmp_path, keep_last=3)
+        with pytest.raises(TrainingInterrupted):
+            PFDRLSystem(make_config(faults)).run(
+                checkpoint_store=store, stop_after_step=4
+            )
+        other = dataclasses.replace(
+            faults, trace=dataclasses.replace(faults.trace, seed=4)
+        )
+        # The config digest covers the nested TraceConfig, so the resume
+        # guard refuses before the trace digest is even consulted.
+        with pytest.raises(CheckpointError):
+            PFDRLSystem(make_config(other)).resume_from(store)
