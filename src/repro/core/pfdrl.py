@@ -19,6 +19,7 @@ standby energy, the paper's headline metric.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,8 +33,14 @@ from repro.federated.server import CentralServer
 from repro.federated.topology import make_topology
 from repro.metrics.energy import saved_energy_kwh, standby_energy_kwh
 from repro.obs.telemetry import Telemetry, ensure_telemetry
-from repro.parallel import ParallelConfig, parallel_map
-from repro.rl.batch import BatchedEpisodeEngine, greedy_rollout, train_residence_segment
+from repro.parallel import (
+    SharedArena,
+    WorkerError,
+    WorkerPool,
+    fork_available,
+    partition_chunks,
+)
+from repro.rl.batch import BatchedEpisodeEngine, greedy_rollout
 from repro.rl.dqn import DQNAgent
 from repro.rl.env import DeviceEnv
 from repro.rl.reward import reward_vector
@@ -147,12 +154,21 @@ class PFDRLTrainer:
         self.batched = bool(batched)
         #: Process-parallel residence sharding for training segments
         #: (> 1 enables it; residences are independent between share
-        #: rounds, so sharding is exact in both agent scopes).
+        #: rounds, so sharding is exact in both agent scopes).  The
+        #: workers are a persistent forked pool sharing the weight arena
+        #: with this process — see :meth:`_ensure_pool`.
         self.n_workers = int(n_workers)
         self._engine: BatchedEpisodeEngine | None = None
-        self._pool_config = ParallelConfig(
-            n_workers=self.n_workers, min_tasks_per_worker=1
-        )
+        self._arena: SharedArena | None = None
+        self._pool: WorkerPool | None = None
+        self._worker_of_rid: dict[int, int] = {}
+        #: True while worker-private agent state (replay rings, Adam
+        #: moments, RNG streams, counters) is newer than this process's
+        #: mirror agents.  Weights are never stale — they live in the
+        #: shared arena — so share rounds and evaluation read them
+        #: directly; :meth:`_pull_worker_states` refreshes the rest
+        #: before anything serialises agent state.
+        self._mirror_stale = False
 
         alpha = self.federation_config.alpha
         if sharing == "full":
@@ -354,11 +370,12 @@ class PFDRLTrainer:
     ) -> None:
         """Hour-long episodes per (residence, device) over [seg_lo, seg_hi).
 
-        Dispatches to the process-parallel residence sharding when
-        ``n_workers > 1``, to the minute-major batched engine when
-        ``batched``, and to the reference serial loop otherwise.
+        Dispatches to the persistent-pool residence sharding when
+        ``n_workers > 1`` (and forking is available), to the
+        minute-major batched engine when ``batched``, and to the
+        reference serial loop otherwise.
         """
-        if self.n_workers > 1 and len(self.streams) > 1:
+        if self.n_workers > 1 and len(self.streams) > 1 and fork_available():
             self._train_segment_parallel(seg_lo, seg_hi, rewards, optima)
         elif self.batched:
             self._train_segment_batched(seg_lo, seg_hi, rewards, optima)
@@ -390,11 +407,41 @@ class PFDRLTrainer:
                     rewards.append(agent.run_episode(env, learn=True))
                     optima.append(env.max_episode_reward())
 
+    def _ensure_engine(self, shared: bool = False) -> BatchedEpisodeEngine:
+        """Lazily build the batched engine (once per trainer).
+
+        With ``shared=True`` the weight/target stacks are carved out of
+        a :class:`SharedArena` so forked pool workers train on the same
+        physical pages as this process.  The dispatch in
+        :meth:`_train_segment` is fixed per trainer (streams and
+        ``n_workers`` never change), so the engine is only ever built
+        one way.
+        """
+        if self._engine is None:
+            allocator = None
+            if shared:
+                shapes: list[tuple[int, ...]] = []
+                for group in self._share_groups:
+                    qnet = self._agents[group[0]].qnet
+                    n = len(group)
+                    for lin in qnet._linears:
+                        for _ in range(2):  # online + target stacks
+                            shapes.append((n,) + lin.W.data.shape)
+                            shapes.append((n,) + lin.b.data.shape)
+                self._arena = SharedArena(SharedArena.required_bytes(shapes))
+                allocator = self._arena.alloc
+            self._engine = BatchedEpisodeEngine(
+                self._share_groups,
+                self._agents,
+                stacked_learn=self.batched,
+                allocator=allocator,
+            )
+        return self._engine
+
     def _train_segment_batched(
         self, seg_lo: int, seg_hi: int, rewards: list[float], optima: list[float]
     ) -> None:
-        if self._engine is None:
-            self._engine = BatchedEpisodeEngine(self._share_groups, self._agents)
+        self._ensure_engine()
         for lo in range(seg_lo, seg_hi, self.horizon):
             hi = min(lo + self.horizon, seg_hi)
             if hi - lo < 2:
@@ -413,35 +460,117 @@ class PFDRLTrainer:
             rewards.extend(chunk_rewards)
             optima.extend(chunk_optima)
 
+    def _ensure_pool(self) -> WorkerPool:
+        """Fork the persistent worker pool on first use.
+
+        Residences are sharded into contiguous rid-sorted chunks (one
+        shard per worker), so each worker's rows in every share group
+        form a contiguous range and its engine view is a zero-copy
+        slice of the shared weight arena.  Workers are forked *after*
+        the arena-backed engine exists, so they inherit the trainer
+        object graph by memory — nothing is pickled at spawn, and per
+        segment only ``(seg_lo, seg_hi)`` goes out and
+        (rewards, optima, counters) come back.  Weight updates travel
+        through the arena in both directions: workers' learn steps write
+        member rows in place, the parent's γ-round aggregation writes
+        merged layers (and target syncs) in place.
+        """
+        if self._pool is not None:
+            return self._pool
+        self._ensure_engine(shared=True)
+        order = sorted(
+            range(len(self.streams)), key=lambda i: self.streams[i].residence_id
+        )
+        shards = partition_chunks(order, min(self.n_workers, len(self.streams)))
+        factories = [
+            (lambda idxs=tuple(shard): _ShardWorker(self, idxs)) for shard in shards
+        ]
+        self._pool = WorkerPool(factories)
+        self._worker_of_rid = {
+            self.streams[i].residence_id: w
+            for w, shard in enumerate(shards)
+            for i in shard
+        }
+        return self._pool
+
+    def _pull_worker_states(self) -> None:
+        """Refresh mirror agents from the workers (no-op when current).
+
+        Loading a worker's ``state_dict`` into the mirror is in-place,
+        so arena views and personalization managers stay bound; the
+        weight arrays are rewritten with the identical shared-arena
+        values, and the worker-private parts (replay, optimizer
+        moments, RNGs, counters) become current.
+        """
+        if self._pool is None or not self._mirror_stale:
+            return
+        self._mirror_stale = False
+        for states in self._pool.call_all("state"):
+            for key, agent_state in states.items():
+                self._agents[key].load_state_dict(agent_state)
+
+    def close(self) -> None:
+        """Shut the worker pool down (if any), preserving agent state.
+
+        Safe to call repeatedly; the trainer keeps working afterwards
+        (a later training segment simply re-forks from the mirror).
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            if self._mirror_stale and pool.alive():
+                self._mirror_stale = False
+                for states in pool.call_all("state"):
+                    for key, agent_state in states.items():
+                        self._agents[key].load_state_dict(agent_state)
+        except WorkerError:
+            pass  # workers already gone; mirror keeps its last pull
+        finally:
+            self._mirror_stale = False
+            pool.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            pool = self.__dict__.get("_pool")
+            if pool is not None:
+                pool.close(force=True)
+        except Exception:
+            pass
+
     def _train_segment_parallel(
         self, seg_lo: int, seg_hi: int, rewards: list[float], optima: list[float]
     ) -> None:
-        """Shard the segment's residences across worker processes.
+        """Train the segment on the persistent residence-shard workers.
 
-        Each worker trains one residence's agents serially over the whole
-        segment and ships their ``state_dict``s back; loading them is
-        in-place, so personalization managers (and any batched-engine
-        arena views) stay bound.  Per-agent trajectories are identical to
-        the serial loop; only the order of the per-episode reward list
-        changes (residence-major instead of chunk-major), which no
-        consumer depends on (the day result reduces it to sums/means of
-        exact Table-1 integers).
+        Each worker steps its shard over ``[seg_lo, seg_hi)`` with the
+        same inner engine the single-process trainer would use (batched
+        waves when ``batched``, the serial reference loop otherwise).
+        Per-agent trajectories are identical; only the order of the
+        per-episode reward list changes (shard-major), which no consumer
+        depends on (the day result reduces it to sums/means of exact
+        Table-1 integers).  Weights come back through the shared arena;
+        only scalar counters ride the pipe, and the heavyweight
+        worker-private state (replay rings, moments, RNGs) stays put
+        until something actually needs it (:meth:`_pull_worker_states`).
         """
-        tasks = []
-        for stream in self.streams:
-            slots = (
-                ("*",) if self.agent_scope == "residence" else tuple(stream.devices)
-            )
-            agents = {
-                slot: self._agents[(stream.residence_id, slot)] for slot in slots
-            }
-            tasks.append((agents, stream.slice(seg_lo, seg_hi), self.horizon))
-        results = parallel_map(train_residence_segment, tasks, self._pool_config)
-        for stream, (seg_rewards, seg_optima, states) in zip(self.streams, results):
-            for slot, state in states.items():
-                self._agents[(stream.residence_id, slot)].load_state_dict(state)
+        pool = self._ensure_pool()
+        try:
+            results = pool.call_all("train", [(seg_lo, seg_hi)] * pool.n_workers)
+        except WorkerError:
+            self._pool = None  # pool force-closed itself; mirror is stale
+            self._mirror_stale = False
+            raise
+        self._mirror_stale = True
+        for seg_rewards, seg_optima, counters in results:
             rewards.extend(seg_rewards)
             optima.extend(seg_optima)
+            for key, (learn_steps, sgd_steps, observed, policy_step) in counters.items():
+                agent = self._agents[key]
+                agent.learn_steps = learn_steps
+                agent.sgd_steps = sgd_steps
+                agent._observed = observed
+                agent.policy._step = policy_step
 
     def run(self, n_days: int) -> list[PFDRLDayResult]:
         """Train *n_days* consecutive days, returning per-day results."""
@@ -455,6 +584,7 @@ class PFDRLTrainer:
     # Persistence
     def state(self) -> dict:
         """Complete trainer state as a checkpointable tree."""
+        self._pull_worker_states()
         state: dict = {
             "minutes_trained": self._minutes_trained,
             "params_broadcast": self._params_broadcast,
@@ -475,6 +605,13 @@ class PFDRLTrainer:
 
     def restore(self, state: dict) -> None:
         """Restore :meth:`state` output; continuing is bit-identical."""
+        # Restored worker-private state (replay, moments, RNGs) can't be
+        # injected into live children wholesale; drop the pool and let
+        # the next training segment re-fork from the restored mirror.
+        pool, self._pool = self._pool, None
+        self._mirror_stale = False
+        if pool is not None:
+            pool.close()
         self._minutes_trained = int(state["minutes_trained"])
         self._params_broadcast = int(state["params_broadcast"])
         for (rid, slot), agent in self._agents.items():
@@ -555,6 +692,10 @@ class PFDRLTrainer:
         bus = self.bus
         assert isinstance(bus, FaultyBus)
         faults = self.fault_config
+        if self._agent_snapshots is not None:
+            # Recovery snapshots serialise full agent state, which for
+            # pool workers lives worker-side; refresh the mirror first.
+            self._pull_worker_states()
         for group in self._share_groups:
             slot = group[0][1]
             tag = f"drl-base/{slot}"
@@ -592,14 +733,29 @@ class PFDRLTrainer:
             return
         bus = self.bus
         assert isinstance(bus, FaultyBus)
+        restored: list[int] = []
         for rid in bus.drain_recovered():
             slots = self._agent_snapshots.get(rid)
             if slots is None:
                 continue
             for slot, snap in slots.items():
                 self._agents[(rid, slot)].load_state_dict(snap)
+            restored.append(rid)
             bus.stats.n_restores += 1
             self.telemetry.count("pfdrl.recovery.restores")
+        if restored and self._pool is not None:
+            # The mirror load above rewrote the shared-arena weights in
+            # place, but the worker-private parts (replay, moments,
+            # RNGs, counters) must be pushed to the owning workers.
+            per_worker: dict[int, dict] = {}
+            for rid in restored:
+                for slot in self._agent_snapshots.get(rid, {}):
+                    key = (rid, slot)
+                    per_worker.setdefault(self._worker_of_rid[rid], {})[key] = (
+                        self._agents[key].state_dict()
+                    )
+            for worker, states in per_worker.items():
+                self._pool.call(worker, "load", states)
         for (rid, slot), agent in self._agents.items():
             if bus.is_online(rid):
                 self._agent_snapshots.setdefault(rid, {})[slot] = agent.state_dict()
@@ -686,3 +842,91 @@ class PFDRLTrainer:
             reward_fraction=reward_fraction,
             saved_kw=saved_kw,
         )
+
+
+class _ShardWorker:
+    """Command handler living inside one forked pool worker.
+
+    Built by the worker factory *after* the fork, so ``trainer`` — the
+    whole object graph including streams, agents, and the arena-backed
+    engine — is the parent's, inherited by memory.  Weight rows of this
+    shard's agents are views into the shared arena (writes are visible
+    to the parent immediately); everything else (replay rings, Adam
+    moments, RNG streams, counters) is copy-on-write private and only
+    crosses the pipe on explicit ``state`` / ``load`` commands.
+    """
+
+    def __init__(self, trainer: PFDRLTrainer, stream_indices: tuple[int, ...]) -> None:
+        self._trainer = trainer
+        self.streams = [trainer.streams[i] for i in stream_indices]
+        rids = {stream.residence_id for stream in self.streams}
+        self.keys = sorted(key for key in trainer._agents if key[0] in rids)
+        self.engine = (
+            trainer._engine.shard_view(rids) if trainer.batched else None
+        )
+
+    def __call__(self, cmd: str, payload):
+        trainer = self._trainer
+        if cmd == "train":
+            return self._train(*payload)
+        if cmd == "state":
+            return {key: trainer._agents[key].state_dict() for key in self.keys}
+        if cmd == "load":
+            for key, agent_state in payload.items():
+                trainer._agents[key].load_state_dict(agent_state)
+            return None
+        if cmd == "ping":
+            return os.getpid()
+        raise ValueError(f"unknown worker command {cmd!r}")
+
+    def _train(
+        self, seg_lo: int, seg_hi: int
+    ) -> tuple[list[float], list[float], dict]:
+        trainer = self._trainer
+        rewards: list[float] = []
+        optima: list[float] = []
+        if self.engine is not None:
+            for lo in range(seg_lo, seg_hi, trainer.horizon):
+                hi = min(lo + trainer.horizon, seg_hi)
+                if hi - lo < 2:
+                    continue
+                pairs = []
+                for stream in self.streams:
+                    for dev_stream in stream.devices.values():
+                        slot = (
+                            "*"
+                            if trainer.agent_scope == "residence"
+                            else dev_stream.device
+                        )
+                        pairs.append(
+                            (
+                                (stream.residence_id, slot),
+                                trainer._episode_env(dev_stream, lo, hi),
+                            )
+                        )
+                chunk_rewards, chunk_optima = self.engine.run_chunk(pairs)
+                rewards.extend(chunk_rewards)
+                optima.extend(chunk_optima)
+        else:
+            for lo in range(seg_lo, seg_hi, trainer.horizon):
+                hi = min(lo + trainer.horizon, seg_hi)
+                if hi - lo < 2:
+                    continue
+                for stream in self.streams:
+                    for dev_stream in stream.devices.values():
+                        agent = trainer.agent_for(
+                            stream.residence_id, dev_stream.device
+                        )
+                        env = trainer._episode_env(dev_stream, lo, hi)
+                        rewards.append(agent.run_episode(env, learn=True))
+                        optima.append(env.max_episode_reward())
+        counters = {
+            key: (
+                trainer._agents[key].learn_steps,
+                trainer._agents[key].sgd_steps,
+                trainer._agents[key]._observed,
+                trainer._agents[key].policy._step,
+            )
+            for key in self.keys
+        }
+        return rewards, optima, counters

@@ -277,9 +277,17 @@ class PFDRLSystem:
                 raise ValueError("resume=True needs a checkpoint_store")
             if checkpoint_store.latest_step() is not None:
                 self.resume_from(checkpoint_store)
-        dfl_history = self.run_forecasting()
-        drl_history = self.run_energy_management()
-        accuracy, ems = self.evaluate()
+        try:
+            dfl_history = self.run_forecasting()
+            drl_history = self.run_energy_management()
+            accuracy, ems = self.evaluate()
+        finally:
+            # Shut the EMS trainer's persistent worker pool down even
+            # when a stage raises (including the scheduled
+            # TrainingInterrupted stop) — no orphaned children, and the
+            # mirror holds the final agent state either way.
+            if self.drl is not None:
+                self.drl.close()
         return SystemResult(
             forecast_accuracy=accuracy,
             ems=ems,

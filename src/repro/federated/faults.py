@@ -281,8 +281,9 @@ class FaultyBus(MessageBus):
         payload: Sequence[np.ndarray],
         tag: str = "",
         _count_tx: bool = True,
+        _copy: bool = True,
     ) -> None:
-        msg = self._make_message(src, dst, payload, tag)
+        msg = self._make_message(src, dst, payload, tag, copy=_copy)
         f = self.faults
         if not self._online[src]:
             # A crashed sender transmits nothing; the suppressed delivery

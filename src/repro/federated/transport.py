@@ -29,6 +29,22 @@ __all__ = [
 BYTES_PER_PARAM = 8  # float64 on the wire
 
 
+def _freeze_payload(payload: Sequence[np.ndarray]) -> tuple[np.ndarray, ...]:
+    """One immutable deep copy of *payload*.
+
+    The copy decouples the message from later sender-side mutation; the
+    read-only flag lets a broadcast share a single frozen tuple across
+    all recipients (any accidental in-place write raises instead of
+    corrupting sibling deliveries).
+    """
+    out = []
+    for a in payload:
+        arr = np.array(a, dtype=np.float64, copy=True)
+        arr.flags.writeable = False
+        out.append(arr)
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class Message:
     """One delivered parameter payload.
@@ -237,15 +253,26 @@ class MessageBus:
         payload: Sequence[np.ndarray],
         tag: str = "",
         _count_tx: bool = True,
+        _copy: bool = True,
     ) -> None:
-        """Point-to-point delivery (must follow a topology edge)."""
-        msg = self._make_message(src, dst, payload, tag)
+        """Point-to-point delivery (must follow a topology edge).
+
+        ``_copy=False`` is the broadcast fast path: the caller already
+        froze the payload with :func:`_freeze_payload` and every
+        recipient shares the same immutable arrays.
+        """
+        msg = self._make_message(src, dst, payload, tag, copy=_copy)
         self._deliver(msg, count_tx=_count_tx)
 
     def _make_message(
-        self, src: int, dst: int, payload: Sequence[np.ndarray], tag: str
+        self,
+        src: int,
+        dst: int,
+        payload: Sequence[np.ndarray],
+        tag: str,
+        copy: bool = True,
     ) -> Message:
-        """Validate endpoints and deep-copy the payload into a Message."""
+        """Validate endpoints and freeze the payload into a Message."""
         if dst not in self._mailboxes:
             raise KeyError(f"unknown agent {dst}")
         if dst not in self.topology.neighbors(src):
@@ -254,7 +281,7 @@ class MessageBus:
             src=src,
             dst=dst,
             tag=tag,
-            payload=tuple(np.array(a, dtype=np.float64, copy=True) for a in payload),
+            payload=_freeze_payload(payload) if copy else tuple(payload),
             round=self.round,
         )
 
@@ -286,8 +313,14 @@ class MessageBus:
         if self._sender_on_air(src):
             self.stats.n_tx_params += sum(int(np.asarray(a).size) for a in payload)
         neighbors = self._route_neighbors(src)
+        # One defensive copy for the whole broadcast: messages are
+        # immutable (the frozen arrays are read-only), so every
+        # neighbour can share the same payload tuple.  The old
+        # copy-per-recipient behaviour made a dense-mesh share round
+        # O(agents x neighbours x model size) in memcpy alone.
+        frozen = _freeze_payload(payload)
         for dst in neighbors:
-            self.send(src, dst, payload, tag=tag, _count_tx=False)
+            self.send(src, dst, frozen, tag=tag, _count_tx=False, _copy=False)
         return len(neighbors)
 
     def advance_round(self) -> None:

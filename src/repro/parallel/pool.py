@@ -28,13 +28,28 @@ __all__ = ["ParallelConfig", "parallel_map", "parallel_starmap"]
 class ParallelConfig:
     """How to fan work out.
 
-    ``n_workers <= 1`` forces serial execution.  ``min_tasks_per_worker``
-    guards against spawning processes for trivial inputs.
+    Policy (in precedence order):
+
+    1. ``n_workers <= 1`` always forces serial execution — a caller that
+       didn't ask for workers never pays pool overhead.
+    2. With ``force=True`` (field or :meth:`effective_workers` override)
+       an explicit worker request is honoured exactly: up to
+       ``min(n_workers, n_tasks)`` processes spawn, however small the
+       input.  Use this when the caller knows each task is heavy.
+    3. Otherwise the economy guard applies: the pool only spawns when
+       every worker would get at least ``min_tasks_per_worker`` tasks
+       *and* there are enough tasks for two such shares
+       (``n_tasks >= 2 * min_tasks_per_worker``), so trivial inputs run
+       serially.  ``min_tasks_per_worker=1`` is honoured exactly for any
+       ``n_tasks >= 2`` — the guard then only suppresses the degenerate
+       single-task pool.
     """
 
     n_workers: int = 1
     min_tasks_per_worker: int = 2
     chunksize: int = 1
+    #: Honour an explicit worker request even for small inputs.
+    force: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -52,9 +67,21 @@ class ParallelConfig:
             n = min(n, max_workers)
         return ParallelConfig(n_workers=n)
 
-    def effective_workers(self, n_tasks: int) -> int:
-        """Workers actually worth spawning for *n_tasks*."""
-        if self.n_workers <= 1 or n_tasks < 2 * self.min_tasks_per_worker:
+    def effective_workers(self, n_tasks: int, force: bool | None = None) -> int:
+        """Workers actually worth spawning for *n_tasks*.
+
+        ``force`` overrides the config's ``force`` field for this call:
+        ``True`` bypasses the economy guard (an explicitly requested
+        pool spawns for any ``n_tasks >= 2``), ``False`` applies it,
+        ``None`` (default) defers to the field.  See the class docstring
+        for the full policy.
+        """
+        if self.n_workers <= 1 or n_tasks <= 1:
+            return 1
+        force = self.force if force is None else force
+        if force:
+            return min(self.n_workers, n_tasks)
+        if n_tasks < 2 * self.min_tasks_per_worker:
             return 1
         return min(self.n_workers, max(1, n_tasks // self.min_tasks_per_worker))
 

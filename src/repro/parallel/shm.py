@@ -1,0 +1,83 @@
+"""Anonymous shared-memory arena for fork-shared numpy arrays.
+
+A :class:`SharedArena` carves numpy arrays out of one anonymous
+``mmap`` created with ``MAP_SHARED | MAP_ANONYMOUS`` (what
+``mmap.mmap(-1, n)`` gives on Linux).  Arrays allocated here **before**
+forking worker processes are *the same physical pages* in parent and
+children: a worker's in-place writes are immediately visible to the
+parent and vice versa, with zero serialization.
+
+This is the transport behind the persistent-pool training path: the
+``StackedQNet`` weight/target arenas live here, so workers never pickle
+parameters — the parent's γ-round aggregation writes merged base layers
+into the arena and the workers simply keep training on them.
+
+Only in-place mutation is shared, exactly matching the repo-wide
+invariant that all weight updates are in-place (``Adam.step`` subtracts
+into ``Parameter.data``, ``set_weights`` assigns with ``[...]``).
+
+The arena is append-only and fixed-size: compute the total byte budget
+up front (:func:`SharedArena.required_bytes` helps), allocate once
+before the fork, and never resize.  The backing ``mmap`` stays alive as
+long as any carved array does; the arena never closes it explicitly
+(numpy holds buffer exports).
+"""
+
+from __future__ import annotations
+
+import mmap
+
+import numpy as np
+
+__all__ = ["SharedArena"]
+
+#: Allocation alignment — cache-line sized so carved arrays never share
+#: a line across an allocation boundary (avoids false sharing between
+#: the parent's reads and a worker's writes).
+_ALIGN = 64
+
+
+class SharedArena:
+    """Bump allocator over one anonymous shared memory map."""
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes < 1:
+            raise ValueError("arena size must be >= 1 byte")
+        # Round up so the final allocation can still be aligned.
+        self.nbytes = int(nbytes + _ALIGN)
+        self._mm = mmap.mmap(-1, self.nbytes)
+        self._offset = 0
+
+    @staticmethod
+    def required_bytes(shapes: list[tuple[int, ...]], itemsize: int = 8) -> int:
+        """Byte budget for allocating *shapes*, alignment included."""
+        total = 0
+        for shape in shapes:
+            n = itemsize
+            for dim in shape:
+                n *= int(dim)
+            total += n + _ALIGN
+        return total
+
+    @property
+    def used_bytes(self) -> int:
+        return self._offset
+
+    def alloc(self, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Carve a zero-initialised array of *shape* out of the map."""
+        dtype = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        start = -self._offset % _ALIGN + self._offset  # round up to _ALIGN
+        end = start + count * dtype.itemsize
+        if end > self.nbytes:
+            raise MemoryError(
+                f"shared arena exhausted: need {end - start} bytes at offset "
+                f"{start}, have {self.nbytes - start}"
+            )
+        self._offset = end
+        arr = np.frombuffer(self._mm, dtype=dtype, count=count, offset=start)
+        arr = arr.reshape(shape)
+        arr[...] = 0  # mmap pages are zeroed, but be explicit
+        return arr

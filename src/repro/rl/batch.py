@@ -2,8 +2,9 @@
 
 The trainer's inner loop is the repo's hottest path: every simulated
 minute does one Q-net forward per (residence, device) pair, each a
-batch-of-1 matrix product.  This module provides three accelerations
-that keep the per-agent semantics intact:
+batch-of-1 matrix product, and every learn trigger runs a full
+per-agent forward/backward/Adam step in Python.  This module batches
+both halves while keeping the per-agent semantics intact:
 
 - :class:`StackedQNet` — a zero-copy *parameter arena* over N
   same-architecture Q-networks.  All weight mutations in this codebase
@@ -11,36 +12,56 @@ that keep the per-agent semantics intact:
   ``set_weights`` assigns with ``[...]``), so each agent's parameters
   can be rebound to views of stacked ``(N, in, out)`` tensors: the
   stacked weights are always current and one broadcast ``matmul`` per
-  minute evaluates every agent at once.
+  minute evaluates every agent at once.  With an ``allocator`` the
+  stacks live in a :class:`repro.parallel.shm.SharedArena`, so forked
+  workers and the parent share the same physical weight pages;
+  :meth:`StackedQNet.view` slices a contiguous row range for a worker's
+  shard without copying anything.
+- :class:`StackedLearner` — the fully batched learn step.  Replay
+  rings, Adam moments, and counters are stacked the same way, so one
+  wave of transitions becomes one stacked push + one stacked
+  forward/backward + one :class:`repro.nn.optim.StackedAdam` step for
+  every triggered agent, instead of a Python ``observe()`` /
+  ``learn_step()`` per agent.
 - :class:`BatchedEpisodeEngine` — minute-major episode stepping over
-  many (agent, env) pairs.  Replay pushes, learn triggers, and policy
-  RNG draws all stay per-agent and in per-agent order.
+  many (agent, env) pairs, grouped into occurrence *waves* so each
+  batched replay/learn op touches each agent row at most once.  Policy
+  RNG draws and replay RNG draws stay per-agent and in per-agent order.
 - :func:`greedy_rollout` / :func:`train_residence_segment` — the
   matrix-only greedy evaluation rollout and the picklable worker for
-  process-parallel residence sharding.
+  stateless process-pool residence sharding.
 
 Bitwise-identity contract (verified by ``tests/test_rl_batch.py``):
-``np.matmul`` over stacked operands ``(M, 1, d) @ (M, d, h)`` computes
-each item exactly as the serial ``(1, d) @ (d, h)`` product, so batched
-*training* action selection reproduces the serial Q-values bit-for-bit.
-A single large gemm ``(T, d) @ (d, h)`` — used by greedy *evaluation* —
-is not row-bitwise-stable in general, but greedy evaluation only
-consumes ``argmax`` of the Q-rows and Table-1 rewards are exact
-integers, so the resulting ``EMSEvaluation`` arrays match the serial
-rollout bit-for-bit (asserted in tests and ``benchmarks/bench_hotpath.py``).
+``np.matmul`` over stacked operands ``(M, B, d) @ (M, d, h)`` computes
+each item exactly as the serial ``(B, d) @ (d, h)`` product — and the
+same holds for the transposed backward products, ``sum``-reductions
+along the batch axis, and the stacked Adam update — so batched
+*training* (device scope) reproduces the serial loop bit-for-bit.  In
+residence scope a residence's devices interleave minute-major instead
+of running episode after episode, so the contract weakens to exact
+aggregate equivalence (same learn triggers, same counters, same
+broadcast schedule).  A single large gemm ``(T, d) @ (d, h)`` — used by
+greedy *evaluation* — is not row-bitwise-stable in general, but greedy
+evaluation only consumes ``argmax`` of the Q-rows and Table-1 rewards
+are exact integers, so the resulting ``EMSEvaluation`` arrays match the
+serial rollout bit-for-bit (asserted in tests and
+``benchmarks/bench_hotpath.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.optim import StackedAdam
 from repro.rl.dqn import DQNAgent
 from repro.rl.env import DeviceEnv
 from repro.rl.qnet import build_states
+from repro.rl.replay import ReplayBuffer
 from repro.rl.reward import reward_vector
 
 __all__ = [
     "StackedQNet",
+    "StackedLearner",
     "BatchedEpisodeEngine",
     "greedy_rollout",
     "train_residence_segment",
@@ -55,9 +76,13 @@ class StackedQNet:
     preserving) to a view of the stacked per-layer tensors, so later
     in-place updates — optimizer steps, federated ``set_weights`` —
     write straight through to the stack with no copying or syncing.
+
+    ``allocator`` (e.g. ``SharedArena.alloc``) places the stacked
+    tensors in caller-provided memory; the default is private heap
+    arrays via ``np.stack``.
     """
 
-    def __init__(self, qnets: list) -> None:
+    def __init__(self, qnets: list, allocator=None) -> None:
         if not qnets:
             raise ValueError("need at least one network to stack")
         ref = qnets[0]
@@ -75,13 +100,57 @@ class StackedQNet:
         self._weights: list[np.ndarray] = []
         self._biases: list[np.ndarray] = []
         for j in range(len(ref._linears)):
-            self._weights.append(np.stack([qn._linears[j].W.data for qn in qnets]))
-            self._biases.append(np.stack([qn._linears[j].b.data for qn in qnets]))
+            Ws = [qn._linears[j].W.data for qn in qnets]
+            bs = [qn._linears[j].b.data for qn in qnets]
+            if allocator is None:
+                W, b = np.stack(Ws), np.stack(bs)
+            else:
+                W = allocator((len(qnets),) + Ws[0].shape)
+                b = allocator((len(qnets),) + bs[0].shape)
+                np.stack(Ws, out=W)
+                np.stack(bs, out=b)
+            self._weights.append(W)
+            self._biases.append(b)
+        # numpy collapses view chains to the ultimate owning ndarray, so
+        # a member view's ``.base`` is the stack itself for np.stack
+        # arrays but the arena's flat buffer array for allocator-carved
+        # stacks; record the owner per layer so adoption checks work for
+        # both (and for row-sliced shard views of either).
+        self._wroots = [self._owner(W) for W in self._weights]
+        self._broots = [self._owner(b) for b in self._biases]
+        self._bcache = None
         self._adopt()
+
+    @staticmethod
+    def _owner(arr: np.ndarray):
+        base = arr.base
+        return arr if not isinstance(base, np.ndarray) else base
 
     @property
     def n(self) -> int:
         return len(self.qnets)
+
+    @classmethod
+    def view(cls, parent: "StackedQNet", lo: int, hi: int) -> "StackedQNet":
+        """Zero-copy row-slice view over members ``lo:hi`` of *parent*.
+
+        The members stay bound to the parent's stacked arrays (the view
+        shares memory), so training through the view writes straight
+        into the parent arena — this is how forked shard workers train
+        on the shared weight pages.
+        """
+        if not 0 <= lo < hi <= parent.n:
+            raise ValueError(f"invalid view range [{lo}, {hi}) of {parent.n}")
+        sub = object.__new__(cls)
+        sub.qnets = parent.qnets[lo:hi]
+        sub.in_dim = parent.in_dim
+        sub.out_dim = parent.out_dim
+        sub._weights = [W[lo:hi] for W in parent._weights]
+        sub._biases = [b[lo:hi] for b in parent._biases]
+        sub._wroots = list(parent._wroots)
+        sub._broots = list(parent._broots)
+        sub._bcache = None
+        return sub
 
     def _adopt(self) -> None:
         for j, (W, b) in enumerate(zip(self._weights, self._biases)):
@@ -98,12 +167,13 @@ class StackedQNet:
         back) keeps the arena correct if some future code path does.
         """
         for j, (W, b) in enumerate(zip(self._weights, self._biases)):
+            wroot, broot = self._wroots[j], self._broots[j]
             for i, qn in enumerate(self.qnets):
                 lin = qn._linears[j]
-                if lin.W.data.base is not W:
+                if lin.W.data.base is not wroot:
                     W[i, ...] = lin.W.data
                     lin.W.data = W[i]
-                if lin.b.data.base is not b:
+                if lin.b.data.base is not broot:
                     b[i, ...] = lin.b.data
                     lin.b.data = b[i]
 
@@ -126,30 +196,393 @@ class StackedQNet:
                 h = np.where(h > 0, h, 0.0)  # ReLU, as in nn.activations
         return h[:, 0, :]
 
+    def forward_batch(
+        self,
+        states: np.ndarray,
+        rows: np.ndarray | None = None,
+        train: bool = False,
+    ) -> np.ndarray:
+        """Mini-batch forward: ``states[k]`` (shape ``(B, d)``) through
+        network ``rows[k]`` (default ``0..n-1``), one broadcast matmul
+        per layer.  With ``train=True`` the per-layer inputs and ReLU
+        masks are cached for :meth:`backward_batch` — exactly what the
+        serial ``Linear`` / ``ReLU`` modules cache.
+        """
+        h = np.asarray(states, dtype=np.float64)
+        if rows is None:
+            sel_w, sel_b = self._weights, self._biases
+        else:
+            sel_w = [W[rows] for W in self._weights]
+            sel_b = [b[rows] for b in self._biases]
+        last = len(sel_w) - 1
+        xs: list[np.ndarray] = []
+        masks: list[np.ndarray] = []
+        for j, (W, b) in enumerate(zip(sel_w, sel_b)):
+            if train:
+                xs.append(h)
+            h = np.matmul(h, W) + b[:, None, :]
+            if j < last:
+                mask = h > 0
+                if train:
+                    masks.append(mask)
+                h = np.where(mask, h, 0.0)
+        if train:
+            self._bcache = (xs, masks, sel_w)
+        return h
+
+    def backward_batch(
+        self, grad: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Backprop *grad* through the cached :meth:`forward_batch` pass.
+
+        Returns per-layer ``(dW, db)`` stacks for the same rows the
+        forward ran on.  Each row's products mirror the serial
+        ``Linear.backward`` exactly: ``dW = x.T @ g``,
+        ``db = g.sum(axis=0)``, ``dx = g @ W.T`` (broadcast over the
+        stacked axis via ``swapaxes`` views), and the ReLU masks gate
+        the flowing gradient just like ``ReLU.backward``.
+        """
+        if self._bcache is None:
+            raise RuntimeError("backward_batch called before forward_batch(train=True)")
+        xs, masks, sel_w = self._bcache
+        self._bcache = None
+        n_layers = len(sel_w)
+        dWs: list[np.ndarray | None] = [None] * n_layers
+        dbs: list[np.ndarray | None] = [None] * n_layers
+        g = grad
+        for j in reversed(range(n_layers)):
+            dWs[j] = np.matmul(np.swapaxes(xs[j], 1, 2), g)
+            dbs[j] = g.sum(axis=1)
+            if j > 0:
+                g = np.matmul(g, np.swapaxes(sel_w[j], 1, 2))
+                g = np.where(masks[j - 1], g, 0.0)
+        return dWs, dbs
+
+
+class _StackedReplay:
+    """Ring-buffer arena over N member :class:`ReplayBuffer`\\ s.
+
+    Member arrays are rebound (value-preserving) to row views of
+    stacked ``(N, capacity, ...)`` tensors, so per-member pushes and
+    checkpoint loads stay in sync with the stack.  The scalar cursors
+    (``_head`` / ``_size``) live in int arrays while the engine is
+    stepping; :meth:`sync_in` / :meth:`sync_out` bridge them to the
+    members at chunk boundaries.
+    """
+
+    def __init__(self, buffers: list[ReplayBuffer]) -> None:
+        ref = buffers[0]
+        for buf in buffers[1:]:
+            if buf.capacity != ref.capacity or buf.state_dim != ref.state_dim:
+                raise ValueError("all stacked replay buffers must share one shape")
+        self.buffers = list(buffers)
+        self.capacity = ref.capacity
+        self._states = np.stack([b._states for b in buffers])
+        self._actions = np.stack([b._actions for b in buffers])
+        self._rewards = np.stack([b._rewards for b in buffers])
+        self._next_states = np.stack([b._next_states for b in buffers])
+        self._dones = np.stack([b._dones for b in buffers])
+        for i, buf in enumerate(buffers):
+            buf._states = self._states[i]
+            buf._actions = self._actions[i]
+            buf._rewards = self._rewards[i]
+            buf._next_states = self._next_states[i]
+            buf._dones = self._dones[i]
+        self._heads = np.array([b._head for b in buffers], dtype=np.int64)
+        self._sizes = np.array([b._size for b in buffers], dtype=np.int64)
+
+    @classmethod
+    def view(cls, parent: "_StackedReplay", lo: int, hi: int) -> "_StackedReplay":
+        sub = object.__new__(cls)
+        sub.buffers = parent.buffers[lo:hi]
+        sub.capacity = parent.capacity
+        sub._states = parent._states[lo:hi]
+        sub._actions = parent._actions[lo:hi]
+        sub._rewards = parent._rewards[lo:hi]
+        sub._next_states = parent._next_states[lo:hi]
+        sub._dones = parent._dones[lo:hi]
+        sub._heads = parent._heads[lo:hi]
+        sub._sizes = parent._sizes[lo:hi]
+        return sub
+
+    def sync_in(self) -> None:
+        for i, buf in enumerate(self.buffers):
+            self._heads[i] = buf._head
+            self._sizes[i] = buf._size
+
+    def sync_out(self) -> None:
+        for i, buf in enumerate(self.buffers):
+            buf._head = int(self._heads[i])
+            buf._size = int(self._sizes[i])
+
+    def push_rows(
+        self,
+        rows: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Vectorised ``push`` for unique member *rows*.
+
+        Inputs come straight from the policy/env step, so the serial
+        ``push`` validation (shape, action range) is already satisfied.
+        """
+        heads = self._heads[rows]
+        self._states[rows, heads] = states
+        self._actions[rows, heads] = actions
+        self._rewards[rows, heads] = rewards
+        self._next_states[rows, heads] = next_states
+        self._dones[rows, heads] = dones
+        self._heads[rows] = (heads + 1) % self.capacity
+        self._sizes[rows] = np.minimum(self._sizes[rows] + 1, self.capacity)
+
+    def sample_rows(
+        self, rows: np.ndarray, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One uniform batch per member row, each from its own RNG.
+
+        The index draw per row is the member's exact serial call
+        (``rng.choice(size, batch, replace=False)``), so per-agent RNG
+        streams stay identical to serial training.
+        """
+        idx = np.empty((len(rows), batch_size), dtype=np.int64)
+        for k, i in enumerate(rows):
+            idx[k] = self.buffers[i]._rng.choice(
+                int(self._sizes[i]), size=batch_size, replace=False
+            )
+        sel = np.asarray(rows)[:, None]
+        return (
+            self._states[sel, idx],
+            self._actions[sel, idx],
+            self._rewards[sel, idx],
+            self._next_states[sel, idx],
+            self._dones[sel, idx],
+        )
+
+
+class StackedLearner:
+    """Batched DQN learn step over the members of one share slot.
+
+    Owns the stacked replay rings, the :class:`StackedAdam` moment
+    arena, and int-array mirrors of the members' counters
+    (``learn_steps`` / ``sgd_steps`` / ``_observed``).  One
+    :meth:`observe_rows` call replaces a wave of per-agent
+    ``DQNAgent.observe`` calls: a stacked replay push, a vectorised
+    learn-trigger check, and — for the triggered rows — a single
+    stacked forward/backward/Adam step whose per-row arithmetic is
+    bit-identical to the serial ``DQNAgent.learn_step``.
+    """
+
+    def __init__(
+        self, agents: list[DQNAgent], qstack: StackedQNet, tstack: StackedQNet
+    ) -> None:
+        ref = agents[0].config
+        for agent in agents[1:]:
+            if agent.config != ref:
+                raise ValueError("all stacked agents must share one DQNConfig")
+        self.agents = list(agents)
+        self.config = ref
+        self.qstack = qstack
+        self.tstack = tstack
+        self.replay = _StackedReplay([a.replay for a in agents])
+        self.optim = StackedAdam([a.optimizer for a in agents])
+        self._learn_steps = np.array([a.learn_steps for a in agents], dtype=np.int64)
+        self._sgd_steps = np.array([a.sgd_steps for a in agents], dtype=np.int64)
+        self._observed = np.array([a._observed for a in agents], dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        return len(self.agents)
+
+    @classmethod
+    def view(
+        cls,
+        parent: "StackedLearner",
+        lo: int,
+        hi: int,
+        qstack: StackedQNet,
+        tstack: StackedQNet,
+    ) -> "StackedLearner":
+        """Row-slice view for a shard worker (members ``lo:hi``)."""
+        sub = object.__new__(cls)
+        sub.agents = parent.agents[lo:hi]
+        sub.config = parent.config
+        sub.qstack = qstack
+        sub.tstack = tstack
+        sub.replay = _StackedReplay.view(parent.replay, lo, hi)
+        sub.optim = StackedAdam.view(parent.optim, lo, hi)
+        sub._learn_steps = parent._learn_steps[lo:hi]
+        sub._sgd_steps = parent._sgd_steps[lo:hi]
+        sub._observed = parent._observed[lo:hi]
+        return sub
+
+    def sync_in(self) -> None:
+        """Pull member-side state (counters may have been restored)."""
+        self.replay.sync_in()
+        self.optim.sync_in()
+        for i, agent in enumerate(self.agents):
+            self._learn_steps[i] = agent.learn_steps
+            self._sgd_steps[i] = agent.sgd_steps
+            self._observed[i] = agent._observed
+
+    def sync_out(self) -> None:
+        """Write stacked counters back so member state_dicts are exact."""
+        self.replay.sync_out()
+        self.optim.sync_out()
+        for i, agent in enumerate(self.agents):
+            agent.learn_steps = int(self._learn_steps[i])
+            agent.sgd_steps = int(self._sgd_steps[i])
+            agent._observed = int(self._observed[i])
+
+    def observe_rows(
+        self,
+        rows: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Store one transition per (unique) row, then learn where due.
+
+        The trigger is the serial one — a full batch banked and every
+        ``learn_every``-th observation — evaluated per row.
+        """
+        cfg = self.config
+        self.replay.push_rows(rows, states, actions, rewards, next_states, dones)
+        self._observed[rows] += 1
+        due = (self.replay._sizes[rows] >= cfg.batch_size) & (
+            self._observed[rows] % cfg.learn_every == 0
+        )
+        if due.any():
+            self.learn_rows(rows[due])
+
+    def learn_rows(self, rows: np.ndarray) -> None:
+        """One stacked mini-batch TD update for the given member rows."""
+        cfg = self.config
+        batch = cfg.batch_size
+        s, a, r, s2, done = self.replay.sample_rows(rows, batch)
+        sel = None if len(rows) == self.n else rows
+        q_next = self.tstack.forward_batch(s2, rows=sel)
+        if cfg.double_q:
+            best = self.qstack.forward_batch(s2, rows=sel).argmax(axis=2)
+            next_vals = np.take_along_axis(q_next, best[..., None], axis=2)[..., 0]
+        else:
+            next_vals = q_next.max(axis=2)
+        target_vals = r * cfg.reward_scale + cfg.discount * next_vals * (~done)
+
+        q = self.qstack.forward_batch(s, rows=sel, train=True)
+        chosen = np.take_along_axis(q, a[..., None], axis=2)[..., 0]
+        # Huber gradient, exactly as nn.losses.HuberLoss (n = batch).
+        diff = chosen - target_vals
+        quad = np.abs(diff) <= cfg.huber_delta
+        dchosen = np.where(quad, diff, cfg.huber_delta * np.sign(diff)) / batch
+        grad = np.zeros_like(q)
+        np.put_along_axis(grad, a[..., None], dchosen[..., None], axis=2)
+        dWs, dbs = self.qstack.backward_batch(grad)
+        params: list[np.ndarray] = []
+        grads: list[np.ndarray] = []
+        for W, b, dW, db in zip(self.qstack._weights, self.qstack._biases, dWs, dbs):
+            params.append(W)
+            grads.append(dW)
+            params.append(b)
+            grads.append(db)
+        self.optim.step(params, grads, rows=sel)
+
+        self._learn_steps[rows] += 1
+        self._sgd_steps[rows] += 1
+        sync = rows[self._learn_steps[rows] % cfg.target_replace_iter == 0]
+        if len(sync):
+            for Wq, Wt in zip(self.qstack._weights, self.tstack._weights):
+                Wt[sync] = Wq[sync]
+            for bq, bt in zip(self.qstack._biases, self.tstack._biases):
+                bt[sync] = bq[sync]
+
 
 class BatchedEpisodeEngine:
     """Minute-major batched episode stepping for a set of DQN agents.
 
     Construction groups the agents exactly as the trainer's federation
     share groups do — one :class:`StackedQNet` per slot (``"*"`` in
-    residence scope, one per device type in device scope).  The arena
-    views stay bound for the trainer's lifetime, so share rounds and
-    checkpoint restores (both in-place) need no re-sync.
+    residence scope, one per device type in device scope) for both the
+    online and target networks, plus one :class:`StackedLearner` per
+    slot unless ``stacked_learn=False`` (then learning falls back to
+    per-agent ``observe()``).  The arena views stay bound for the
+    trainer's lifetime, so share rounds and checkpoint restores (both
+    in-place) need no re-sync.  ``allocator`` places the weight stacks
+    in shared memory for the persistent-pool training path;
+    :meth:`shard_view` then gives each forked worker a zero-copy slice.
     """
 
     def __init__(
         self,
         share_groups: list[list[tuple[int, str]]],
         agents: dict[tuple[int, str], DQNAgent],
+        stacked_learn: bool = True,
+        allocator=None,
     ) -> None:
         self._agents = agents
+        self.stacked_learn = bool(stacked_learn)
         self._stacks: dict[str, StackedQNet] = {}
+        self._targets: dict[str, StackedQNet] = {}
+        self._learners: dict[str, StackedLearner] = {}
+        self._groups: dict[str, list[tuple[int, str]]] = {}
         self._row: dict[tuple[int, str], int] = {}
         for group in share_groups:
             slot = group[0][1]
-            self._stacks[slot] = StackedQNet([agents[key].qnet for key in group])
+            members = [agents[key] for key in group]
+            qstack = StackedQNet([m.qnet for m in members], allocator=allocator)
+            tstack = StackedQNet([m.target for m in members], allocator=allocator)
+            self._stacks[slot] = qstack
+            self._targets[slot] = tstack
+            if self.stacked_learn:
+                self._learners[slot] = StackedLearner(members, qstack, tstack)
+            self._groups[slot] = list(group)
             for i, key in enumerate(group):
                 self._row[key] = i
+
+    def shard_view(self, residence_ids) -> "BatchedEpisodeEngine":
+        """Zero-copy sub-engine over a contiguous residence shard.
+
+        Used inside forked pool workers: the worker's stacks are row
+        slices of the parent's (shared-arena) stacks, so the worker
+        trains directly on the shared weight pages, while its replay /
+        optimizer / counter arrays are copy-on-write private slices.
+        The shard must be contiguous in each group's sorted key order
+        (the trainer shards rid-sorted streams into chunks, which
+        guarantees it).
+        """
+        rids = set(residence_ids)
+        sub = object.__new__(BatchedEpisodeEngine)
+        sub.stacked_learn = self.stacked_learn
+        sub._agents = {k: v for k, v in self._agents.items() if k[0] in rids}
+        sub._stacks = {}
+        sub._targets = {}
+        sub._learners = {}
+        sub._groups = {}
+        sub._row = {}
+        for slot, group in self._groups.items():
+            rows = [i for i, key in enumerate(group) if key[0] in rids]
+            if not rows:
+                continue
+            lo, hi = rows[0], rows[-1] + 1
+            if rows != list(range(lo, hi)):
+                raise ValueError(
+                    "shard residences must be contiguous within each share group"
+                )
+            sub._stacks[slot] = StackedQNet.view(self._stacks[slot], lo, hi)
+            sub._targets[slot] = StackedQNet.view(self._targets[slot], lo, hi)
+            if slot in self._learners:
+                sub._learners[slot] = StackedLearner.view(
+                    self._learners[slot], lo, hi, sub._stacks[slot], sub._targets[slot]
+                )
+            subgroup = group[lo:hi]
+            sub._groups[slot] = subgroup
+            for i, key in enumerate(subgroup):
+                sub._row[key] = i
+        return sub
 
     def run_chunk(
         self, pairs: list[tuple[tuple[int, str], DeviceEnv]]
@@ -160,13 +593,21 @@ class BatchedEpisodeEngine:
         Per pair, the observation order seen by its agent — act, step,
         observe at t = 0..T-1 — is identical to the serial
         ``run_episode`` loop; only the interleaving *between* pairs
-        changes.  Returns (episode rewards, optimal rewards) in pair
-        order, matching the serial loop's bookkeeping order.
+        changes.  Within a minute, a slot's pairs are processed in
+        occurrence waves (wave k holds the k-th pair of each agent), so
+        each wave touches each agent row at most once and the stacked
+        replay push + learn step is exact.  Returns (episode rewards,
+        optimal rewards) in pair order, matching the serial loop's
+        bookkeeping order.
         """
         if not pairs:
             return [], []
         for stack in self._stacks.values():
             stack.ensure_adopted()
+        for tstack in self._targets.values():
+            tstack.ensure_adopted()
+        for learner in self._learners.values():
+            learner.sync_in()
         horizon = pairs[0][1].horizon
         # Group pair indices by slot so each group hits one stack.
         by_slot: dict[str, list[int]] = {}
@@ -176,23 +617,70 @@ class BatchedEpisodeEngine:
             by_slot.setdefault(key[1], []).append(idx)
         states = [env.reset() for _, env in pairs]
         totals = [0.0] * len(pairs)
-        row_sel: dict[str, np.ndarray | None] = {}
+        state_dim = len(states[0])
+        plans = []
         for slot, idxs in by_slot.items():
             rows = [self._row[pairs[i][0]] for i in idxs]
-            row_sel[slot] = None if rows == list(range(self._stacks[slot].n)) else np.asarray(rows)
-        for _ in range(horizon):
-            for slot, idxs in by_slot.items():
-                q = self._stacks[slot].forward(
-                    np.stack([states[i] for i in idxs]), rows=row_sel[slot]
+            sel = (
+                None
+                if rows == list(range(self._stacks[slot].n))
+                else np.asarray(rows)
+            )
+            seen: dict[int, int] = {}
+            waves: list[tuple[list, list]] = []
+            for bi, i in enumerate(idxs):
+                row = rows[bi]
+                w = seen.get(row, 0)
+                seen[row] = w + 1
+                if w == len(waves):
+                    waves.append(([], []))
+                key, env = pairs[i]
+                waves[w][0].append((i, bi, env, self._agents[key]))
+                waves[w][1].append(row)
+            plans.append(
+                (
+                    slot,
+                    idxs,
+                    sel,
+                    [(m, np.asarray(r, dtype=np.int64)) for m, r in waves],
+                    self._learners.get(slot),
                 )
-                for bi, i in enumerate(idxs):
-                    key, env = pairs[i]
-                    agent = self._agents[key]
-                    action = agent.policy.select(q[bi])
-                    step = env.step(action)
-                    agent.observe(states[i], action, step.reward, step.state, step.done)
-                    totals[i] += step.reward
-                    states[i] = step.state
+            )
+        for _ in range(horizon):
+            for slot, idxs, sel, waves, learner in plans:
+                q = self._stacks[slot].forward(
+                    np.stack([states[i] for i in idxs]), rows=sel
+                )
+                for members, wave_rows in waves:
+                    if learner is None:
+                        for i, bi, env, agent in members:
+                            action = agent.policy.select(q[bi])
+                            step = env.step(action)
+                            agent.observe(
+                                states[i], action, step.reward, step.state, step.done
+                            )
+                            totals[i] += step.reward
+                            states[i] = step.state
+                    else:
+                        k = len(members)
+                        s = np.empty((k, state_dim))
+                        a = np.empty(k, dtype=np.int64)
+                        r = np.empty(k)
+                        s2 = np.empty((k, state_dim))
+                        d = np.empty(k, dtype=bool)
+                        for bj, (i, bi, env, agent) in enumerate(members):
+                            action = agent.policy.select(q[bi])
+                            step = env.step(action)
+                            s[bj] = states[i]
+                            a[bj] = action
+                            r[bj] = step.reward
+                            s2[bj] = step.state
+                            d[bj] = step.done
+                            totals[i] += step.reward
+                            states[i] = step.state
+                        learner.observe_rows(wave_rows, s, a, r, s2, d)
+        for learner in self._learners.values():
+            learner.sync_out()
         rewards = list(totals)
         optima = [env.max_episode_reward() for _, env in pairs]
         return rewards, optima
@@ -239,6 +727,10 @@ def train_residence_segment(
     sequence as in-process serial training.  Returns the per-episode
     rewards, the optimal rewards, and each agent's full ``state_dict``
     for the parent process to load back in place.
+
+    This is the *stateless* sharding worker (everything ships through
+    pickles each call); the persistent-pool path in
+    ``repro.core.pfdrl`` supersedes it for repeated segments.
     """
     agents, segment, horizon = task
     rewards: list[float] = []

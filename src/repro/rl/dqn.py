@@ -46,7 +46,10 @@ class DQNAgent:
         self.target = copy.deepcopy(self.qnet)
 
         self.replay = ReplayBuffer(
-            self.config.memory_capacity, self.qnet.in_dim, seed=r_replay
+            self.config.memory_capacity,
+            self.qnet.in_dim,
+            seed=r_replay,
+            n_actions=self.config.n_actions,
         )
         self.policy = EpsilonGreedy(
             self.config.n_actions,

@@ -34,11 +34,18 @@ class ReplayBuffer:
         capacity: int,
         state_dim: int,
         seed: int | np.random.Generator | None = 0,
+        n_actions: int | None = None,
     ) -> None:
         if capacity < 1 or state_dim < 1:
             raise ValueError("capacity and state_dim must be >= 1")
+        if n_actions is not None and n_actions < 1:
+            raise ValueError("n_actions must be >= 1 when given")
         self.capacity = int(capacity)
         self.state_dim = int(state_dim)
+        #: Optional action-space size; when set, :meth:`push` rejects
+        #: out-of-range actions instead of letting them silently poison
+        #: the Q-value gather in ``DQNAgent.learn_step``.
+        self.n_actions = int(n_actions) if n_actions is not None else None
         self._rng = as_generator(seed)
         self._states = np.zeros((capacity, state_dim))
         self._actions = np.zeros(capacity, dtype=np.int64)
@@ -68,8 +75,13 @@ class ReplayBuffer:
         next_state = np.asarray(next_state, dtype=np.float64)
         if state.shape != (self.state_dim,) or next_state.shape != (self.state_dim,):
             raise ValueError(f"states must have shape ({self.state_dim},)")
-        if not 0 <= int(action):
+        action = int(action)
+        if action < 0:
             raise ValueError("action must be a non-negative integer")
+        if self.n_actions is not None and action >= self.n_actions:
+            raise ValueError(
+                f"action {action} out of range for {self.n_actions} actions"
+            )
         i = self._head
         self._states[i] = state
         self._actions[i] = int(action)
@@ -87,8 +99,8 @@ class ReplayBuffer:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Uniform random batch: (states, actions, rewards, next_states, dones).
 
-        Sampling is *without* replacement (the clamp above guarantees
-        ``batch_size <= size``): a duplicated transition inside one
+        Sampling is *without* replacement (the clamp below guarantees
+        ``batch_size <= size`` first): a duplicated transition inside one
         mini-batch would double-count its TD error and bias the update.
         """
         if self._size == 0:
@@ -109,31 +121,53 @@ class ReplayBuffer:
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
-        """Complete mutable state as a checkpointable tree."""
-        """Full ring contents plus cursor and sampling-RNG state."""
+        """Live ring contents plus cursor and sampling-RNG state.
+
+        Arrays are sliced to the first ``size`` rows — exact because the
+        ring only wraps once full (``head == size`` whenever
+        ``size < capacity``), and when full the slice *is* the whole
+        ring.  Serialization cost therefore tracks actual contents, not
+        the pre-allocated capacity (a nearly-empty 2000-slot buffer
+        pickles to a few hundred bytes, not half a megabyte).
+        """
+        n = self._size
         return {
-            "states": self._states.copy(),
-            "actions": self._actions.copy(),
-            "rewards": self._rewards.copy(),
-            "next_states": self._next_states.copy(),
-            "dones": self._dones.copy(),
+            "states": self._states[:n].copy(),
+            "actions": self._actions[:n].copy(),
+            "rewards": self._rewards[:n].copy(),
+            "next_states": self._next_states[:n].copy(),
+            "dones": self._dones[:n].copy(),
             "size": self._size,
             "head": self._head,
             "rng": generator_state(self._rng),
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore :meth:`state_dict` output in place."""
+        """Restore :meth:`state_dict` output in place.
+
+        Accepts both the sliced format (arrays of ``size`` rows, padded
+        back out with zeros — dead slots are never sampled) and the
+        legacy full-capacity format from older checkpoints.
+        """
         states = np.asarray(state["states"], dtype=np.float64)
-        if states.shape != self._states.shape:
+        size = int(state["size"])
+        n = states.shape[0]
+        if n not in (size, self.capacity) or states.shape[1:] != (self.state_dim,):
             raise ValueError(
-                f"replay shape mismatch: {states.shape} vs {self._states.shape}"
+                f"replay shape mismatch: {states.shape} vs "
+                f"({size} or {self.capacity}, {self.state_dim})"
             )
-        self._states[...] = states
-        self._actions[...] = np.asarray(state["actions"], dtype=np.int64)
-        self._rewards[...] = np.asarray(state["rewards"], dtype=np.float64)
-        self._next_states[...] = np.asarray(state["next_states"], dtype=np.float64)
-        self._dones[...] = np.asarray(state["dones"], dtype=bool)
-        self._size = int(state["size"])
+        self._states[:n] = states
+        self._actions[:n] = np.asarray(state["actions"], dtype=np.int64)
+        self._rewards[:n] = np.asarray(state["rewards"], dtype=np.float64)
+        self._next_states[:n] = np.asarray(state["next_states"], dtype=np.float64)
+        self._dones[:n] = np.asarray(state["dones"], dtype=bool)
+        if n < self.capacity:
+            self._states[n:] = 0.0
+            self._actions[n:] = 0
+            self._rewards[n:] = 0.0
+            self._next_states[n:] = 0.0
+            self._dones[n:] = False
+        self._size = size
         self._head = int(state["head"])
         restore_generator(self._rng, state["rng"])

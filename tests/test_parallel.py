@@ -43,6 +43,40 @@ class TestParallelConfig:
         with pytest.raises(ValueError):
             ParallelConfig(min_tasks_per_worker=0)
 
+    @pytest.mark.parametrize(
+        "n_workers,min_tasks,force_field,n_tasks,force_arg,expected",
+        [
+            # Serial corners: no pool configured, or nothing to split.
+            (1, 4, False, 100, None, 1),
+            (8, 4, False, 1, None, 1),
+            (8, 4, True, 1, None, 1),
+            (8, 4, False, 0, None, 1),
+            # Economy guard: below 2*min_tasks_per_worker stays serial.
+            (8, 4, False, 7, None, 1),
+            (8, 4, False, 8, None, 2),
+            (8, 4, False, 31, None, 7),
+            (8, 4, False, 32, None, 8),
+            # Workers never exceed n_workers or n_tasks.
+            (8, 2, False, 100, None, 8),
+            (8, 1, False, 3, None, 3),
+            # force field bypasses the guard, still capped by tasks.
+            (8, 4, True, 2, None, 2),
+            (8, 4, True, 3, None, 3),
+            (8, 4, True, 100, None, 8),
+            # Per-call force overrides the field in both directions.
+            (8, 4, False, 2, True, 2),
+            (8, 4, True, 7, False, 1),
+            (8, 4, True, 8, False, 2),
+        ],
+    )
+    def test_effective_workers_policy(
+        self, n_workers, min_tasks, force_field, n_tasks, force_arg, expected
+    ):
+        cfg = ParallelConfig(
+            n_workers=n_workers, min_tasks_per_worker=min_tasks, force=force_field
+        )
+        assert cfg.effective_workers(n_tasks, force=force_arg) == expected
+
 
 class TestParallelMap:
     def test_serial_matches_builtin_map(self):
