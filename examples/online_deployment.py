@@ -1,12 +1,20 @@
-"""Deployment example: train with the pipeline, run the minute loop.
+"""Deployment example: train → checkpoint → serve → hot-swap.
 
-Trains the full PFDRL system, then extracts residence 0's trained
-forecasters and DQN into an :class:`repro.core.OnlineController` and
-streams a fresh day of readings through it minute by minute — the shape
-of the loop a smart-home hub would actually run.
+The real deployment path, end to end: train the PFDRL system with a
+durable :class:`repro.persist.CheckpointStore`, load the final
+checkpoint back as an immutable :class:`repro.serve.ModelSnapshot`
+(config-digest-verified, read-only weights), and answer per-residence
+"next-hour schedule" queries through a batching
+:class:`repro.serve.ServingEngine` — then publish a new checkpoint
+generation and hot-swap it in without dropping a query.  Every answer
+is bit-identical to streaming the same readings through an
+:class:`repro.core.OnlineController` minute by minute; the engine just
+answers whole batches through one vectorised matmul.
 
 Run:  python examples/online_deployment.py
 """
+
+import tempfile
 
 import numpy as np
 
@@ -17,8 +25,16 @@ from repro.config import (
     ForecastConfig,
     PFDRLConfig,
 )
-from repro.core import DeviceNominals, OnlineController, PFDRLSystem
+from repro.core import PFDRLSystem
 from repro.data import generate_neighborhood
+from repro.persist import CheckpointStore
+from repro.serve import (
+    ModelSnapshot,
+    ScheduleQuery,
+    ServingEngine,
+    SnapshotWatcher,
+    republish_latest,
+)
 
 
 def main() -> None:
@@ -33,46 +49,63 @@ def main() -> None:
         federation=FederationConfig(beta_hours=6, gamma_hours=6),
         episodes=2,
     )
-    print("Training the PFDRL system...")
-    system = PFDRLSystem(config)
-    # A hub would persist training across reboots: pass a
-    # repro.persist.CheckpointStore here (checkpoint_store=..., resume=True)
-    # and the run snapshots complete state — forecasters, DQN, replay,
-    # RNGs — every simulated day in the versioned, checksummed NPZ+manifest
-    # format described in DESIGN.md §11, resuming bit-identically.
-    system.run()
-    assert system.dfl is not None and system.drl is not None
 
-    # Residence 0's trained pieces become the deployed controller.
-    rid = 0
-    client = system.dfl.clients[rid]
-    agent = system.drl.agents[rid]
-    nominals = {
-        dev: DeviceNominals(trace.on_kw, trace.standby_kw)
-        for dev, trace in system.dataset[rid]
-    }
-    controller = OnlineController(
-        forecasters=client.forecasters,
-        agent=agent,
-        nominals=nominals,
-        minutes_per_day=config.data.minutes_per_day,
-        t0=0,
-    )
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        # 1. Train with durable checkpoints (a hub would point this at
+        #    persistent storage and pass resume=True across reboots).
+        print("Training the PFDRL system (checkpointed)...")
+        store = CheckpointStore(ckpt_dir, keep_last=3)
+        PFDRLSystem(config).run(checkpoint_store=store)
 
-    # A fresh day arrives, one minute at a time.
-    fresh = generate_neighborhood(config.data, seed=99)[rid]
-    traces = {dev: trace.power_kw for dev, trace in fresh}
-    print("Streaming one fresh day through the controller...")
-    controller.run_trace(traces)
+        # 2. Load the final checkpoint as an immutable serving snapshot.
+        #    The digest guard refuses checkpoints from any other config.
+        snapshot = ModelSnapshot.load(store, config)
+        engine = ServingEngine(snapshot)
+        watcher = SnapshotWatcher(engine, store, config)
+        print(f"Serving {snapshot.generation} "
+              f"({len(snapshot.residences())} residences)")
 
-    stats = controller.stats
-    print(f"\nminutes handled   : {stats.minutes}")
-    print(f"forecasts made    : {stats.forecasts_made}")
-    print(f"actions (off/sb/on): {stats.actions[0]} / {stats.actions[1]} / {stats.actions[2]}")
-    total_standby = sum(t.standby_energy_kwh() for _, t in fresh)
-    saved = sum(stats.saved_kwh.values())
-    print(f"standby available : {total_standby:.3f} kWh")
-    print(f"energy withheld   : {saved:.3f} kWh")
+        # 3. A fresh day of readings arrives; every home asks for its
+        #    schedule.  One batch = one vectorised greedy evaluation.
+        fresh = generate_neighborhood(config.data, seed=99)
+        queries = [
+            ScheduleQuery(
+                residence_id=rid,
+                readings={dev: trace.power_kw for dev, trace in fresh[rid]},
+            )
+            for rid in snapshot.residences()
+        ]
+        answers = engine.answer_batch(queries)
+        for answer in answers:
+            minutes = len(next(iter(answer.actions.values())))
+            on = sum(int((a == 2).sum()) for a in answer.actions.values())
+            off = sum(int((a == 0).sum()) for a in answer.actions.values())
+            print(f"  residence {answer.residence_id}: {minutes} min, "
+                  f"off/on decisions {off}/{on}, "
+                  f"withheld {answer.saved_kwh:.3f} kWh "
+                  f"[{answer.generation}]")
+
+        total_standby = sum(
+            t.standby_energy_kwh() for rid in snapshot.residences()
+            for _, t in fresh[rid]
+        )
+        saved = sum(a.saved_kwh for a in answers)
+        print(f"standby available : {total_standby:.3f} kWh")
+        print(f"energy withheld   : {saved:.3f} kWh")
+
+        # 4. Hot-swap: a retrain publishes a new checkpoint; the watcher
+        #    loads it off the serving path and swaps atomically.  Same
+        #    weights here, so the answers must not change — only the
+        #    generation stamp does.
+        republish_latest(store)
+        assert watcher.check_once(), "watcher should pick up the new step"
+        again = engine.answer_batch(queries)
+        assert all(
+            np.array_equal(a.actions[d], b.actions[d])
+            for a, b in zip(answers, again) for d in a.actions
+        ), "identical checkpoint must serve identical schedules"
+        print(f"hot-swapped       : {answers[0].generation} -> "
+              f"{again[0].generation} (answers unchanged, 0 dropped)")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@ Usage::
     python -m repro report --all               # every experiment (minutes)
     python -m repro train --checkpoint-dir ck  # checkpointed pipeline run
     python -m repro train --checkpoint-dir ck --resume   # crash-resume
+    python -m repro serve --checkpoint-dir ck  # answer schedule queries
+    python -m repro serve --checkpoint-dir ck --swap-demo   # + hot-swap
 """
 
 from __future__ import annotations
@@ -57,18 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSONL run journal (phase timings, "
                             "work units) to PATH")
 
+    def add_pipeline_args(p: argparse.ArgumentParser) -> None:
+        """Geometry shared by `train` and `serve` — the serving side must
+        rebuild the *identical* config or the checkpoint digest guard
+        refuses the snapshot."""
+        p.add_argument("--residences", type=int, default=4)
+        p.add_argument("--days", type=int, default=4)
+        p.add_argument("--minutes-per-day", type=int, default=240)
+        p.add_argument("--model", default="lr",
+                       help="forecaster model (lr, svm, svm_rbf, bp, lstm)")
+        p.add_argument("--episodes", type=int, default=2)
+        p.add_argument("--seed", type=int, default=0)
+
     p_tr = sub.add_parser(
         "train",
         help="run the end-to-end pipeline once, with optional durable "
              "checkpoints and crash-resume",
     )
-    p_tr.add_argument("--residences", type=int, default=4)
-    p_tr.add_argument("--days", type=int, default=4)
-    p_tr.add_argument("--minutes-per-day", type=int, default=240)
-    p_tr.add_argument("--model", default="lr",
-                      help="forecaster model (lr, svm, svm_rbf, bp, lstm)")
-    p_tr.add_argument("--episodes", type=int, default=2)
-    p_tr.add_argument("--seed", type=int, default=0)
+    add_pipeline_args(p_tr)
     p_tr.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                       help="durable checkpoint store; snapshot complete run "
                            "state every --checkpoint-every days")
@@ -86,16 +94,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the full SystemResult as JSON to PATH")
     p_tr.add_argument("--telemetry", metavar="PATH", default=None,
                       help="write a JSONL run journal to PATH")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="load a trained checkpoint as an immutable snapshot and "
+             "answer a burst of per-residence schedule queries",
+    )
+    add_pipeline_args(p_sv)
+    p_sv.add_argument("--checkpoint-dir", metavar="DIR", required=True,
+                      help="checkpoint store written by `train` under the "
+                           "same pipeline arguments")
+    p_sv.add_argument("--queries", type=int, default=64,
+                      help="number of simulated-residence queries (default 64)")
+    p_sv.add_argument("--trace-minutes", type=int, default=None,
+                      help="minutes of readings per query (default: a few "
+                           "forecast horizons)")
+    p_sv.add_argument("--batch-size", type=int, default=64,
+                      help="serving micro-batch size (default 64)")
+    p_sv.add_argument("--query-seed", type=int, default=123,
+                      help="load-generator seed (default 123)")
+    p_sv.add_argument("--swap-demo", action="store_true",
+                      help="republish the latest checkpoint mid-burst and "
+                           "hot-swap to it; asserts identical answers and "
+                           "zero dropped queries")
+    p_sv.add_argument("--result-json", metavar="PATH", default=None,
+                      help="write the serving summary as JSON to PATH")
+    p_sv.add_argument("--telemetry", metavar="PATH", default=None,
+                      help="write a JSONL run journal to PATH")
     return parser
 
 
-def run_train(args: argparse.Namespace, telemetry: Telemetry | None) -> int:
+def pipeline_config(args: argparse.Namespace):
+    """The one config both `train` and `serve` build from shared args.
+
+    Serving reconstructs it to satisfy the checkpoint digest guard, so
+    any change here invalidates existing checkpoints for the CLI.
+    """
     from repro.config import DataConfig, DQNConfig, ForecastConfig, PFDRLConfig
-    from repro.core import PFDRLSystem
-    from repro.persist import CheckpointStore, TrainingInterrupted
 
     mpd = args.minutes_per_day
-    config = PFDRLConfig(
+    return PFDRLConfig(
         data=DataConfig(
             n_residences=args.residences,
             n_days=args.days,
@@ -110,6 +148,13 @@ def run_train(args: argparse.Namespace, telemetry: Telemetry | None) -> int:
         episodes=args.episodes,
         seed=args.seed,
     )
+
+
+def run_train(args: argparse.Namespace, telemetry: Telemetry | None) -> int:
+    from repro.core import PFDRLSystem
+    from repro.persist import CheckpointStore, TrainingInterrupted
+
+    config = pipeline_config(args)
     store = (
         CheckpointStore(args.checkpoint_dir, keep_last=args.keep_last)
         if args.checkpoint_dir
@@ -138,6 +183,110 @@ def run_train(args: argparse.Namespace, telemetry: Telemetry | None) -> int:
     return 0
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def run_serve(args: argparse.Namespace, telemetry: Telemetry | None) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.persist import CheckpointStore
+    from repro.serve import (
+        ModelSnapshot,
+        ServingEngine,
+        SnapshotWatcher,
+        make_queries,
+        republish_latest,
+    )
+
+    config = pipeline_config(args)
+    # Readers never prune: retention is the trainer's decision.
+    store = CheckpointStore(args.checkpoint_dir, keep_last=None)
+    snapshot = ModelSnapshot.load(store, config)
+    engine = ServingEngine(snapshot, telemetry=telemetry, max_batch=args.batch_size)
+    watcher = SnapshotWatcher(engine, store, config, telemetry=telemetry)
+    queries = make_queries(
+        config, args.queries, trace_minutes=args.trace_minutes, seed=args.query_seed
+    )
+    print(f"serving {snapshot.generation}: {len(queries)} queries over "
+          f"{len(snapshot.residences())} trained residences")
+
+    engine.start()
+    t_start = time.perf_counter()
+    first = [p.result(timeout=120.0) for p in
+             [engine.submit(q) for q in queries]]
+    swap_info = None
+    answers = list(first)
+    if args.swap_demo:
+        republish_latest(store)
+        swapped = watcher.check_once()
+        second = [p.result(timeout=120.0) for p in
+                  [engine.submit(q) for q in queries]]
+        identical = all(
+            np.array_equal(a.actions[d], b.actions[d])
+            for a, b in zip(first, second)
+            for d in a.actions
+        )
+        if not (swapped and identical and engine.dropped == 0):
+            print("hot-swap demo FAILED: "
+                  f"swapped={swapped} identical={identical} "
+                  f"dropped={engine.dropped}", file=sys.stderr)
+            engine.stop()
+            return 1
+        swap_info = {
+            "swapped": True,
+            "generations": [first[0].generation, second[0].generation],
+            "identical_answers": True,
+            "dropped": engine.dropped,
+        }
+        answers += second
+    elapsed = time.perf_counter() - t_start
+    engine.stop()
+
+    latencies = sorted(a.latency_s for a in answers)
+    qps = len(answers) / elapsed if elapsed > 0 else float("inf")
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    if telemetry is not None:
+        telemetry.event(
+            "serve.burst",
+            generation=engine.generation,
+            queries=engine.queries_served,
+            batches=engine.batches_served,
+            dropped=engine.dropped,
+            swaps=engine.swaps,
+            qps=qps,
+            p50_ms=p50 * 1e3,
+            p99_ms=p99 * 1e3,
+        )
+    print(f"queries answered    {engine.queries_served} "
+          f"(batches: {engine.batches_served}, dropped: {engine.dropped})")
+    print(f"throughput          {qps:.1f} queries/s")
+    print(f"latency p50/p99     {p50 * 1e3:.2f} / {p99 * 1e3:.2f} ms")
+    print(f"generation          {engine.generation} (swaps: {engine.swaps})")
+    if args.result_json:
+        summary = {
+            "generation": engine.generation,
+            "queries": len(answers),
+            "batches": engine.batches_served,
+            "dropped": engine.dropped,
+            "swaps": engine.swaps,
+            "qps": qps,
+            "p50_ms": p50 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "swap_demo": swap_info,
+        }
+        with open(args.result_json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, sort_keys=True, indent=2)
+        print(f"result: {args.result_json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -153,8 +302,9 @@ def main(argv: list[str] | None = None) -> int:
     telemetry = (
         Telemetry(journal=RunJournal()) if getattr(args, "telemetry", None) else None
     )
-    if args.command == "train":
-        code = run_train(args, telemetry)
+    if args.command in ("train", "serve"):
+        runner = run_train if args.command == "train" else run_serve
+        code = runner(args, telemetry)
         if telemetry is not None and telemetry.journal is not None:
             n = telemetry.journal.write(args.telemetry)
             print(f"telemetry: {n} events -> {args.telemetry}", file=sys.stderr)

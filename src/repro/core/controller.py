@@ -24,7 +24,12 @@ from repro.forecast import Forecaster, augment_time_features, normalize_power
 from repro.rl.dqn import DQNAgent
 from repro.rl.qnet import build_state
 
-__all__ = ["OnlineController", "DeviceNominals", "ControllerStats"]
+__all__ = [
+    "OnlineController",
+    "DeviceNominals",
+    "ControllerStats",
+    "forecast_block",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,39 @@ class DeviceNominals:
     def __post_init__(self) -> None:
         if self.on_kw <= 0 or self.standby_kw < 0:
             raise ValueError("need on_kw > 0 and standby_kw >= 0")
+
+
+def forecast_block(
+    forecaster: Forecaster,
+    history,
+    nominals: DeviceNominals,
+    minutes_done: int,
+    minutes_per_day: int,
+    t0: int = 0,
+) -> tuple[np.ndarray, bool]:
+    """One horizon block of per-minute forecasts (kW) at a boundary.
+
+    This is the exact refresh rule of the online minute loop, shared by
+    :class:`OnlineController` and the batched serving path
+    (:mod:`repro.serve`) so both produce bit-identical forecasts: until
+    a full lag window of *history* exists, fall back to persistence (the
+    last reading, or the standby level before any reading); afterwards
+    run one model prediction on the normalised window with the
+    controller's time-feature phase (``minutes_done`` minutes past
+    ``t0``).  Returns ``(block_kw, used_model)``.
+    """
+    if len(history) < forecaster.window:
+        last = history[-1] if len(history) else nominals.standby_kw
+        return np.full(forecaster.horizon, last), False
+    window = normalize_power(np.asarray(history[-forecaster.window:]), nominals.on_kw)
+    X = window[None, :]
+    if forecaster.n_extra:
+        offsets = np.asarray([minutes_done])
+        X = augment_time_features(
+            X, offsets, minutes_per_day, t0=t0, harmonics=forecaster.n_extra // 2
+        )
+    pred = np.clip(forecaster.predict(X)[0], 0.0, None) * nominals.on_kw
+    return pred, True
 
 
 @dataclass
@@ -107,23 +145,16 @@ class OnlineController:
         have = device in self._pending_forecast
         if have and pos < self._horizon(device):
             return
-        history = self._history[device]
-        nom = self.nominals[device]
-        if len(history) < fc.window:
-            # Persistence fallback until a full window exists.
-            last = history[-1] if history else nom.standby_kw
-            self._pending_forecast[device] = np.full(self._horizon(device), last)
-        else:
-            window = normalize_power(np.asarray(history[-fc.window:]), nom.on_kw)
-            X = window[None, :]
-            if fc.n_extra:
-                offsets = np.asarray([self.stats.minutes])
-                X = augment_time_features(
-                    X, offsets, self.minutes_per_day, t0=self.t0,
-                    harmonics=fc.n_extra // 2,
-                )
-            pred = np.clip(fc.predict(X)[0], 0.0, None) * nom.on_kw
-            self._pending_forecast[device] = pred
+        block, used_model = forecast_block(
+            fc,
+            self._history[device],
+            self.nominals[device],
+            self.stats.minutes,
+            self.minutes_per_day,
+            t0=self.t0,
+        )
+        self._pending_forecast[device] = block
+        if used_model:
             self.stats.forecasts_made += 1
         self._forecast_pos[device] = 0
 

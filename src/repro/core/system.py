@@ -45,7 +45,28 @@ from repro.federated.dfl import DFLRoundResult, DFLTrainer
 from repro.obs.telemetry import Telemetry, ensure_telemetry
 from repro.persist import CheckpointError, CheckpointStore, TrainingInterrupted
 
-__all__ = ["PFDRLSystem", "SystemResult"]
+__all__ = ["PFDRLSystem", "SystemResult", "config_digest"]
+
+
+def config_digest(
+    config: PFDRLConfig, forecast_mode: str = "decentralized",
+    sharing: str = "personalized",
+) -> str:
+    """SHA-256 over the config + pipeline variant.
+
+    Written into every checkpoint's manifest meta (``config_sha256``)
+    and checked on resume and on serving-snapshot load, so state from
+    one configuration can never be silently rebound to another.
+    """
+    blob = json.dumps(
+        {
+            "config": config_to_dict(config),
+            "forecast_mode": forecast_mode,
+            "sharing": sharing,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -281,6 +302,22 @@ class PFDRLSystem:
             dfl_history = self.run_forecasting()
             drl_history = self.run_energy_management()
             accuracy, ems = self.evaluate()
+            # Final deployable checkpoint: unlike the per-day snapshots
+            # (taken *before* the terminal share round), this one holds
+            # exactly the weights the evaluation measured — what the
+            # serving layer (repro.serve) should load.
+            if self._store is not None:
+                total = self.n_train_days * (1 + max(1, self.config.episodes))
+                self._store.save(
+                    total + 1,
+                    self.state(),
+                    meta={
+                        "config_sha256": self.config_digest(),
+                        "dfl_days_done": self._dfl_days_done,
+                        "ems_days_done": self._ems_days_done,
+                        "final": True,
+                    },
+                )
         finally:
             # Shut the EMS trainer's persistent worker pool down even
             # when a stage raises (including the scheduled
@@ -301,15 +338,7 @@ class PFDRLSystem:
     # Persistence
     def config_digest(self) -> str:
         """SHA-256 over the config + pipeline variant — resume guard."""
-        blob = json.dumps(
-            {
-                "config": config_to_dict(self.config),
-                "forecast_mode": self.forecast_mode,
-                "sharing": self.sharing,
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return config_digest(self.config, self.forecast_mode, self.sharing)
 
     def state(self) -> dict:
         """Complete system state as a checkpointable tree."""

@@ -95,15 +95,34 @@ class CheckpointStore:
         return path
 
     def load(self, step: int | None = None, verify: bool = True):
-        """Load ``(state, manifest)`` for *step* (default: latest)."""
-        if step is None:
-            step = self.latest_step()
-            if step is None:
+        """Load ``(state, manifest)`` for *step* (default: latest).
+
+        Loading the latest tolerates a concurrent publish or prune
+        racing the read: if the step chosen by the directory scan
+        vanishes (or tears) before it is fully read, the scan-and-load
+        is retried — a hot-swap reader polling a live training run
+        always lands on a complete checkpoint.
+        """
+        if step is not None:
+            path = self.path_for(step)
+            if not os.path.isdir(path):
+                raise CheckpointError(
+                    f"no checkpoint for step {step} in {self.root}"
+                )
+            return load_checkpoint(path, verify=verify)
+        last_error: Exception | None = None
+        for _ in range(8):
+            latest = self.latest_step()
+            if latest is None:
                 raise CheckpointError(f"no checkpoints in {self.root}")
-        path = self.path_for(step)
-        if not os.path.isdir(path):
-            raise CheckpointError(f"no checkpoint for step {step} in {self.root}")
-        return load_checkpoint(path, verify=verify)
+            try:
+                return load_checkpoint(self.path_for(latest), verify=verify)
+            except (CheckpointError, OSError) as exc:
+                # The step was pruned or is mid-replace; rescan.
+                last_error = exc
+        raise CheckpointError(
+            f"could not load a stable latest checkpoint from {self.root}"
+        ) from last_error
 
     def manifest(self, step: int) -> dict[str, Any]:
         return read_manifest(self.path_for(step))
@@ -117,18 +136,26 @@ class CheckpointStore:
             shutil.rmtree(self.path_for(step), ignore_errors=True)
 
     def _write_index(self) -> None:
-        steps = self.steps()
+        """Atomically rewrite ``index.json`` (tmp file + rename).
+
+        A step vanishing between the scan and its manifest read (a
+        concurrent prune, or a publisher mid-``os.replace``) is skipped
+        rather than failing the whole rewrite — the directory scan
+        stays authoritative either way.
+        """
+        entries = []
+        for step in self.steps():
+            try:
+                meta = read_manifest(self.path_for(step)).get("meta", {})
+            except (CheckpointError, OSError):
+                continue
+            entries.append(
+                {"step": step, "path": f"ckpt-{step:08d}", "meta": meta}
+            )
         index = {
-            "latest_step": steps[-1] if steps else None,
+            "latest_step": entries[-1]["step"] if entries else None,
             "keep_last": self.keep_last,
-            "checkpoints": [
-                {
-                    "step": step,
-                    "path": f"ckpt-{step:08d}",
-                    "meta": read_manifest(self.path_for(step)).get("meta", {}),
-                }
-                for step in steps
-            ],
+            "checkpoints": entries,
         }
         tmp = os.path.join(self.root, f".tmp-index-{uuid.uuid4().hex[:8]}")
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -137,10 +164,19 @@ class CheckpointStore:
         os.replace(tmp, os.path.join(self.root, INDEX_NAME))
 
     def index(self) -> dict[str, Any]:
-        """The last-written ``index.json`` (or a scan-built fallback)."""
+        """The last-written ``index.json`` (or a scan-built fallback).
+
+        A missing, truncated or otherwise unreadable index falls back
+        to the authoritative directory scan instead of raising —
+        concurrent readers may catch the file mid-rewrite on
+        filesystems without atomic rename visibility.
+        """
         path = os.path.join(self.root, INDEX_NAME)
         if os.path.isfile(path):
-            with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    return json.load(fh)
+            except (json.JSONDecodeError, OSError):
+                pass
         return {"latest_step": self.latest_step(), "keep_last": self.keep_last,
                 "checkpoints": []}

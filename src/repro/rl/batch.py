@@ -54,7 +54,7 @@ import numpy as np
 
 from repro.nn.optim import StackedAdam
 from repro.rl.dqn import DQNAgent
-from repro.rl.env import DeviceEnv
+from repro.rl.env import DeviceEnv, apply_actions
 from repro.rl.qnet import build_states
 from repro.rl.replay import ReplayBuffer
 from repro.rl.reward import reward_vector
@@ -705,12 +705,7 @@ def greedy_rollout(qnet, dev_stream) -> tuple[np.ndarray, np.ndarray, np.ndarray
         dev_stream.device,
     )
     actions = qnet.forward(states).argmax(axis=1).astype(np.int64)
-    real = dev_stream.real_kw
-    controlled = np.where(
-        actions == 2,
-        real,
-        np.where(actions == 1, np.minimum(real, dev_stream.standby_kw * 1.1), 0.0),
-    )
+    controlled = apply_actions(actions, dev_stream.real_kw, dev_stream.standby_kw)
     rewards = reward_vector(dev_stream.mode, actions)
     return actions, controlled, rewards
 

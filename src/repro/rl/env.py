@@ -25,7 +25,27 @@ from repro.rl.modes import classify_modes
 from repro.rl.qnet import STATE_DIM, build_states
 from repro.rl.reward import reward_vector
 
-__all__ = ["DeviceEnv", "EnvStep"]
+__all__ = ["DeviceEnv", "EnvStep", "apply_actions"]
+
+
+def apply_actions(
+    actions: np.ndarray, real_kw: np.ndarray, standby_kw: float
+) -> np.ndarray:
+    """Vectorised controlled-power trace under the pass-through semantics.
+
+    The single source of the action → draw rule shared by
+    :meth:`DeviceEnv.step`, the vectorised greedy rollout
+    (:func:`repro.rl.batch.greedy_rollout`) and the serving engine
+    (:mod:`repro.serve`): off draws 0, standby caps the draw at the
+    standby level (with 10% headroom), on passes the real draw through.
+    """
+    actions = np.asarray(actions)
+    real = np.asarray(real_kw, dtype=np.float64)
+    return np.where(
+        actions == 2,
+        real,
+        np.where(actions == 1, np.minimum(real, standby_kw * 1.1), 0.0),
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,41 @@
+"""Online serving layer over the checkpoint store (DESIGN.md §14).
+
+The deployment loop the paper presumes — a hub querying a trained
+per-residence EMS policy continuously — as a real subsystem:
+
+- :mod:`repro.serve.snapshot` — :class:`ModelSnapshot`: a checkpoint
+  loaded as an immutable (read-only-enforced) serving artifact; batch
+  query answering through the vectorised greedy path, bit-identical to
+  the online minute loop.
+- :mod:`repro.serve.engine` — :class:`ServingEngine`: direct or
+  threaded micro-batched serving with atomic generation hot-swap and
+  ``repro.obs`` telemetry.
+- :mod:`repro.serve.watcher` — :class:`SnapshotWatcher`: store polling
+  + off-path snapshot loading; :func:`republish_latest` hot-swap drill.
+- :mod:`repro.serve.loadgen` — seeded simulated-residence query
+  streams for the bench, the CLI demo and the tests.
+"""
+
+from repro.serve.engine import PendingAnswer, ServingEngine
+from repro.serve.loadgen import default_trace_minutes, iter_queries, make_queries
+from repro.serve.snapshot import (
+    ModelSnapshot,
+    ScheduleAnswer,
+    ScheduleQuery,
+    SnapshotError,
+)
+from repro.serve.watcher import SnapshotWatcher, republish_latest
+
+__all__ = [
+    "ModelSnapshot",
+    "ScheduleQuery",
+    "ScheduleAnswer",
+    "SnapshotError",
+    "ServingEngine",
+    "PendingAnswer",
+    "SnapshotWatcher",
+    "republish_latest",
+    "iter_queries",
+    "make_queries",
+    "default_trace_minutes",
+]

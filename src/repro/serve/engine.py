@@ -1,0 +1,216 @@
+"""The serving engine: batched query answering + atomic hot-swap.
+
+:class:`ServingEngine` holds the *active* :class:`ModelSnapshot` behind
+a single reference.  Two serving styles share it:
+
+- **Direct**: :meth:`answer_batch` / :meth:`answer` run on the caller's
+  thread — one snapshot read per batch, so a whole batch is always
+  answered by one generation.
+- **Threaded**: :meth:`start` spawns a worker that drains a queue of
+  :meth:`submit`-ted queries in micro-batches (up to ``max_batch``),
+  fulfilling :class:`PendingAnswer` futures.  This is the load-test /
+  hub-gateway shape: many concurrent clients, one vectorised matmul per
+  micro-batch.
+
+Hot-swap protocol (:meth:`swap`): the active-snapshot reference is
+replaced under a lock; it is read **once per batch**, so any batch in
+flight finishes on the snapshot it started with while the next batch
+picks up the new generation.  Nothing blocks, nothing drops — answers
+carry their ``generation`` stamp so callers can audit exactly which
+checkpoint served them.
+
+Telemetry (``repro.obs``): ``serve.queries`` / ``serve.batches`` /
+``serve.swaps`` counters, a ``serve.batch`` service-time timer, and a
+``serve.queue_depth`` gauge refreshed as the worker drains.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.obs.telemetry import Telemetry, ensure_telemetry
+from repro.serve.snapshot import ModelSnapshot, ScheduleAnswer, ScheduleQuery
+
+__all__ = ["ServingEngine", "PendingAnswer"]
+
+_STOP = object()
+
+
+class PendingAnswer:
+    """Future for one submitted query (threaded serving mode)."""
+
+    __slots__ = ("query", "submitted_at", "_event", "_answer", "_error")
+
+    def __init__(self, query: ScheduleQuery, submitted_at: float) -> None:
+        self.query = query
+        self.submitted_at = submitted_at
+        self._event = threading.Event()
+        self._answer: ScheduleAnswer | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ScheduleAnswer:
+        """Block until answered; re-raises the engine-side error if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query not answered in time")
+        if self._error is not None:
+            raise self._error
+        assert self._answer is not None
+        return self._answer
+
+    # engine side -------------------------------------------------------
+    def _fulfill(self, answer: ScheduleAnswer) -> None:
+        self._answer = answer
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class ServingEngine:
+    """Batched scheduler over an atomically swappable model snapshot."""
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        telemetry: Telemetry | None = None,
+        max_batch: int = 64,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._snapshot = snapshot
+        self.telemetry = ensure_telemetry(telemetry)
+        self.max_batch = int(max_batch)
+        self._swap_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self.queries_served = 0
+        self.batches_served = 0
+        self.swaps = 0
+        #: Queries submitted but never answered (target: always 0 — the
+        #: worker drains the queue fully before stopping).
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> ModelSnapshot:
+        """The active snapshot (what the *next* batch will be served by)."""
+        return self._snapshot
+
+    @property
+    def generation(self) -> str:
+        return self._snapshot.generation
+
+    def swap(self, snapshot: ModelSnapshot) -> ModelSnapshot:
+        """Atomically make *snapshot* active; returns the previous one.
+
+        In-flight batches keep the snapshot reference they already read
+        — they finish on the old generation; subsequent batches serve
+        from the new one.  Zero queries are dropped or blocked.
+        """
+        with self._swap_lock:
+            old, self._snapshot = self._snapshot, snapshot
+            self.swaps += 1
+        self.telemetry.count("serve.swaps")
+        self.telemetry.event(
+            "serve.swap",
+            generation=snapshot.generation,
+            step=snapshot.step,
+            previous=old.generation,
+        )
+        return old
+
+    # ------------------------------------------------------------------
+    def answer_batch(self, queries: list[ScheduleQuery]) -> list[ScheduleAnswer]:
+        """Answer *queries* now, on the caller's thread, as one batch."""
+        snapshot = self._snapshot  # single read: one generation per batch
+        start = time.perf_counter()
+        with self.telemetry.timer("serve.batch"):
+            answers = snapshot.schedule(queries)
+        elapsed = time.perf_counter() - start
+        for answer in answers:
+            answer.latency_s = elapsed
+        self.queries_served += len(answers)
+        self.batches_served += 1
+        self.telemetry.count("serve.queries", len(answers))
+        self.telemetry.count("serve.batches")
+        return answers
+
+    def answer(self, query: ScheduleQuery) -> ScheduleAnswer:
+        return self.answer_batch([query])[0]
+
+    # ------------------------------------------------------------------
+    # Threaded micro-batching
+    def start(self) -> None:
+        """Spawn the worker thread draining submitted queries."""
+        if self._thread is not None:
+            raise RuntimeError("engine already started")
+        self._thread = threading.Thread(
+            target=self._run, name="serve-engine", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, query: ScheduleQuery) -> PendingAnswer:
+        """Enqueue one query; returns a future (requires :meth:`start`)."""
+        if self._thread is None:
+            raise RuntimeError("start() the engine before submitting")
+        pending = PendingAnswer(query, time.perf_counter())
+        self._queue.put(pending)
+        self.telemetry.gauge("serve.queue_depth", self._queue.qsize())
+        return pending
+
+    def stop(self) -> None:
+        """Drain every queued query, then join the worker (zero drops)."""
+        if self._thread is None:
+            return
+        self._queue.put(_STOP)
+        self._thread.join()
+        self._thread = None
+        # FIFO guarantees everything enqueued before stop() was served;
+        # anything still queued was submitted *after* stop and is lost.
+        leftovers = 0
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if pending is _STOP:
+                continue
+            leftovers += 1
+            pending._fail(RuntimeError("serving engine stopped"))
+        self.dropped += leftovers
+        if leftovers:
+            self.telemetry.count("serve.dropped", leftovers)
+
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            first = self._queue.get()
+            if first is _STOP:
+                break
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                batch.append(item)
+            self.telemetry.gauge("serve.queue_depth", self._queue.qsize())
+            try:
+                answers = self.answer_batch([p.query for p in batch])
+            except Exception as exc:  # per-batch isolation: engine survives
+                for pending in batch:
+                    pending._fail(exc)
+                continue
+            now = time.perf_counter()
+            for pending, answer in zip(batch, answers):
+                answer.latency_s = now - pending.submitted_at
+                pending._fulfill(answer)

@@ -1,0 +1,132 @@
+"""Hot-swap: watch the checkpoint store, load new snapshots off-path.
+
+:class:`SnapshotWatcher` polls a :class:`repro.persist.CheckpointStore`
+for a newer step than the engine's active snapshot.  Loading (NPZ read,
+weight restacking, freezing) happens entirely on the watcher's thread —
+the serving path never blocks on it — and only the final
+:meth:`ServingEngine.swap` repoints the active reference.  A publish
+racing the poll (trainer mid-``os.replace``, pruning) surfaces as a
+:class:`CheckpointError`; the watcher counts it and simply retries on
+the next poll, so a torn read can never take serving down.
+
+:func:`republish_latest` re-saves the newest checkpoint under the next
+step number — the hot-swap drill used by the CLI ``serve --swap-demo``,
+the bench and the tests: the new generation must answer identically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config import PFDRLConfig
+from repro.obs.telemetry import Telemetry, ensure_telemetry
+from repro.persist.checkpoint import CheckpointError
+from repro.persist.store import CheckpointStore
+from repro.serve.engine import ServingEngine
+from repro.serve.snapshot import ModelSnapshot
+
+__all__ = ["SnapshotWatcher", "republish_latest"]
+
+
+def republish_latest(store: CheckpointStore) -> int:
+    """Re-save the latest checkpoint as a new step; returns the step.
+
+    The state and config digest are unchanged — only the step (and so
+    the serving generation) advances, which is exactly what a hot-swap
+    drill needs: same answers, new generation.
+    """
+    state, manifest = store.load()
+    meta = dict(manifest.get("meta", {}))
+    step = (store.latest_step() or 0) + 1
+    meta["step"] = step
+    store.save(step, state, meta=meta)
+    return step
+
+
+class SnapshotWatcher:
+    """Poll the store; swap newer checkpoints into the engine."""
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        store: CheckpointStore,
+        config: PFDRLConfig,
+        *,
+        forecast_mode: str = "decentralized",
+        sharing: str = "personalized",
+        verify: bool = True,
+        poll_interval: float = 1.0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.engine = engine
+        self.store = store
+        self.config = config
+        self.forecast_mode = forecast_mode
+        self.sharing = sharing
+        self.verify = verify
+        self.poll_interval = float(poll_interval)
+        self.telemetry = ensure_telemetry(telemetry)
+        self.loads = 0
+        self.load_errors = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def check_once(self) -> bool:
+        """One synchronous poll; returns True when a swap happened.
+
+        Deterministic building block for tests and the CLI demo; the
+        background thread just calls this on a cadence.
+        """
+        latest = self.store.latest_step()
+        current = self.engine.snapshot.step
+        if latest is None or latest == current:
+            return False
+        try:
+            snapshot = ModelSnapshot.load(
+                self.store,
+                self.config,
+                forecast_mode=self.forecast_mode,
+                sharing=self.sharing,
+                verify=self.verify,
+            )
+        except CheckpointError:
+            # Publish raced the poll (torn directory, pruned step) —
+            # keep serving the current generation, retry next poll.
+            self.load_errors += 1
+            self.telemetry.count("serve.load_errors")
+            return False
+        if snapshot.step == current:
+            return False
+        self.loads += 1
+        self.telemetry.count("serve.snapshot_loads")
+        self.engine.swap(snapshot)
+        return True
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Poll on a background daemon thread every ``poll_interval``."""
+        if self._thread is not None:
+            raise RuntimeError("watcher already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-watcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.check_once()
+            except Exception:
+                # The watcher must never kill serving; count and go on.
+                self.load_errors += 1
+                self.telemetry.count("serve.load_errors")
+            self._stop.wait(self.poll_interval)

@@ -1,0 +1,137 @@
+"""CheckpointStore under concurrent readers and racing publishes.
+
+The serving watcher polls ``latest_step()`` / ``load(None)`` while a
+trainer publishes and prunes; these tests simulate the races with
+monkeypatched primitives (a step vanishing mid-read, a manifest torn
+mid-index-rewrite, a half-written ``index.json``) and pin the store's
+promise: the directory scan is authoritative and a reader always lands
+on a complete checkpoint or gets a clean :class:`CheckpointError`.
+"""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+import repro.persist.store as store_mod
+from repro.persist import CheckpointError, CheckpointStore
+from repro.persist.store import INDEX_NAME
+
+
+def small_state(tag: float):
+    return {"weights": np.full(4, tag), "meta": {"tag": tag}}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = CheckpointStore(str(tmp_path), keep_last=None)
+    for step in (1, 2, 3):
+        s.save(step, small_state(float(step)), meta={"tag": step})
+    return s
+
+
+class TestLatestLoadRaces:
+    def test_latest_survives_vanishing_checkpoint(self, store, monkeypatch):
+        """The scan picks step 3, a concurrent prune deletes it before
+        the read completes — load(None) must rescan and land on 2."""
+        real_load = store_mod.load_checkpoint
+        pruned = {"done": False}
+
+        def racing_load(path, verify=True):
+            if not pruned["done"] and path.endswith("ckpt-00000003"):
+                pruned["done"] = True
+                shutil.rmtree(path)
+                raise CheckpointError("checkpoint vanished mid-read")
+            return real_load(path, verify=verify)
+
+        monkeypatch.setattr(store_mod, "load_checkpoint", racing_load)
+        state, manifest = store.load()
+        assert pruned["done"]
+        assert manifest["meta"]["step"] == 2
+        assert state["meta"]["tag"] == 2.0
+
+    def test_latest_survives_transient_tear(self, store, monkeypatch):
+        """A torn read that heals (publisher finishes the rename) —
+        the retry lands on the same step."""
+        real_load = store_mod.load_checkpoint
+        torn = {"count": 0}
+
+        def flaky_load(path, verify=True):
+            if torn["count"] < 2:
+                torn["count"] += 1
+                raise CheckpointError("manifest mid-replace")
+            return real_load(path, verify=verify)
+
+        monkeypatch.setattr(store_mod, "load_checkpoint", flaky_load)
+        _, manifest = store.load()
+        assert torn["count"] == 2
+        assert manifest["meta"]["step"] == 3
+
+    def test_latest_gives_up_after_persistent_tear(self, store, monkeypatch):
+        monkeypatch.setattr(
+            store_mod,
+            "load_checkpoint",
+            lambda path, verify=True: (_ for _ in ()).throw(
+                CheckpointError("always torn")
+            ),
+        )
+        with pytest.raises(CheckpointError, match="stable latest"):
+            store.load()
+
+    def test_explicit_step_does_not_retry(self, store):
+        with pytest.raises(CheckpointError, match="no checkpoint for step"):
+            store.load(step=42)
+
+    def test_empty_store_is_a_clean_error(self, tmp_path):
+        empty = CheckpointStore(str(tmp_path / "none"), keep_last=None)
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            empty.load()
+
+
+class TestIndexRaces:
+    def test_write_index_skips_vanished_step(self, store, monkeypatch):
+        """A manifest read torn by a concurrent prune drops that entry
+        instead of failing the whole rewrite."""
+        real_read = store_mod.read_manifest
+
+        def racing_read(path):
+            if path.endswith("ckpt-00000002"):
+                raise CheckpointError("pruned under us")
+            return real_read(path)
+
+        monkeypatch.setattr(store_mod, "read_manifest", racing_read)
+        store._write_index()
+        index = store.index()
+        steps = [entry["step"] for entry in index["checkpoints"]]
+        assert steps == [1, 3]
+        assert index["latest_step"] == 3
+
+    def test_corrupt_index_falls_back_to_scan(self, store):
+        index_path = os.path.join(store.root, INDEX_NAME)
+        with open(index_path, "w", encoding="utf-8") as fh:
+            fh.write('{"latest_step": 3, "checkpoints": [')  # torn write
+        index = store.index()
+        assert index["latest_step"] == 3
+        assert index["checkpoints"] == []
+        # the next save heals the index
+        store.save(4, small_state(4.0), meta={"tag": 4})
+        healed = json.load(open(index_path, encoding="utf-8"))
+        assert healed["latest_step"] == 4
+        assert [e["step"] for e in healed["checkpoints"]] == [1, 2, 3, 4]
+
+    def test_manifest_less_dir_is_invisible(self, store):
+        """A publisher that crashed before writing its manifest leaves a
+        bare ckpt dir; scans and loads must ignore it."""
+        os.makedirs(os.path.join(store.root, "ckpt-00000009"))
+        assert store.steps() == [1, 2, 3]
+        assert store.latest_step() == 3
+        _, manifest = store.load()
+        assert manifest["meta"]["step"] == 3
+
+    def test_index_rewrite_is_atomic(self, store):
+        """No transient tmp file survives a rewrite (tmp + rename)."""
+        store._write_index()
+        leftovers = [n for n in os.listdir(store.root) if n.startswith(".tmp-")]
+        assert leftovers == []
