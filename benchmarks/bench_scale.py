@@ -1,0 +1,248 @@
+"""Scale benchmark: γ-round communication cost vs N, flat vs two-tier.
+
+Standalone (no pytest-benchmark dependency) so CI can run it with the
+tier-1 package set:
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --out BENCH_scale.json
+
+Produces the messages/bytes-vs-N curve for the flat full-mesh γ round
+against the two-tier :class:`repro.federated.hierarchy.
+HierarchicalFederation` and fits log-log slopes: the flat mesh must
+come out ~quadratic (slope ≈ 2) while the hierarchy stays sub-quadratic
+(slope below ``--max-hier-slope``, default 1.5 — empirically ~1 plus
+the sparse upper tier).  Flat costs are *measured* on a real
+:class:`MessageBus` up to ``--flat-measure-max`` and analytically
+extended (N·(N−1) deliveries per round — exact for the full mesh) so
+the curve reaches the hierarchy's largest N without minutes of memcpy.
+
+The large-N point (default 10000 residences) runs through
+:class:`SegmentedScaleRunner` as digest-guarded checkpoint segments:
+the run is interrupted mid-segment, resumed from the store, and the
+final weights are asserted **bit-identical** to an uninterrupted
+reference before the point is recorded.
+
+``--smoke`` shrinks everything to CI scale (seconds) and asserts the
+sub-quadratic floor: hierarchical messages per round strictly below the
+flat mesh at the smoke N.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.config import HierarchyConfig  # noqa: E402
+from repro.experiments.scale import flat_messages_per_round  # noqa: E402
+from repro.federated.hierarchy import SegmentedScaleRunner  # noqa: E402
+from repro.federated.transport import BYTES_PER_PARAM  # noqa: E402
+from repro.persist import CheckpointStore, TrainingInterrupted  # noqa: E402
+
+
+def flat_point(n: int, dim: int, measure: bool) -> dict:
+    """One flat-mesh curve point: measured on a real bus, or the exact
+    closed form N·(N−1) (each of N broadcasts reaches N−1 neighbours)."""
+    if measure:
+        messages = flat_messages_per_round(n, dim=dim)
+    else:
+        messages = n * (n - 1)
+    return {
+        "n": n,
+        "messages_per_round": float(messages),
+        "bytes_per_round": float(messages * dim * BYTES_PER_PARAM),
+        "measured": measure,
+    }
+
+
+def hier_point(
+    n: int, cluster_size: int, dim: int, rounds: int, seed: int
+) -> dict:
+    """One hierarchy curve point, counters read from the tier stats."""
+    runner = SegmentedScaleRunner(
+        n,
+        HierarchyConfig(cluster_size=cluster_size, upper_topology="ring", seed=seed),
+        dim=dim,
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        runner.run_round()
+    elapsed = time.perf_counter() - t0
+    tiers = runner.summary()["tiers"]
+    messages = tiers["tier0"]["n_messages"] + tiers["tier1"]["n_messages"]
+    n_bytes = tiers["tier0"]["n_bytes"] + tiers["tier1"]["n_bytes"]
+    return {
+        "n": n,
+        "cluster_size": cluster_size,
+        "n_clusters": runner.hier.n_clusters,
+        "messages_per_round": messages / rounds,
+        "bytes_per_round": n_bytes / rounds,
+        "seconds_per_round": elapsed / rounds,
+        "tiers": tiers,
+    }
+
+
+def segmented_large_run(
+    n: int, cluster_size: int, dim: int, rounds: int, seed: int, work_dir: Path
+) -> dict:
+    """The headline large-N run: segments, interrupt, bit-identical resume."""
+    cfg = HierarchyConfig(
+        cluster_size=cluster_size, upper_topology="ring",
+        participation=0.5, seed=seed,
+    )
+    reference = SegmentedScaleRunner(n, cfg, dim=dim, seed=seed)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        reference.run_round()
+    reference_seconds = time.perf_counter() - t0
+
+    store = CheckpointStore(work_dir / f"scale_{n}")
+    stop_at = max(1, rounds // 2)
+    first = SegmentedScaleRunner(n, cfg, dim=dim, seed=seed)
+    t0 = time.perf_counter()
+    try:
+        first.run(rounds, store=store, segment_rounds=max(1, rounds // 4),
+                  stop_after_round=stop_at)
+        raise AssertionError(f"expected TrainingInterrupted at round {stop_at}")
+    except TrainingInterrupted:
+        pass
+    second = SegmentedScaleRunner(n, cfg, dim=dim, seed=seed)
+    manifest = second.resume(store)
+    second.run(rounds, store=store, segment_rounds=max(1, rounds // 4))
+    segmented_seconds = time.perf_counter() - t0
+    assert np.array_equal(second.weights, reference.weights), (
+        f"segment-resumed weights at N={n} are not bit-identical"
+    )
+
+    tiers = second.summary()["tiers"]
+    return {
+        "n": n,
+        "cluster_size": cluster_size,
+        "rounds": rounds,
+        "interrupted_at_round": stop_at,
+        "resumed_from_step": manifest.get("meta", {}).get("step"),
+        "bit_identical_resume": True,
+        "reference_seconds": reference_seconds,
+        "segmented_seconds": segmented_seconds,
+        "messages_per_round": (
+            tiers["tier0"]["n_messages"] + tiers["tier1"]["n_messages"]
+        ) / rounds,
+        "weight_checksum": float(np.abs(second.weights).sum()),
+    }
+
+
+def loglog_slope(points: list[dict]) -> float:
+    """Fitted log-log slope of messages-per-round vs N."""
+    xs = np.log([p["n"] for p in points])
+    ys = np.log([p["messages_per_round"] for p in points])
+    return float(np.polyfit(xs, ys, 1)[0])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: tiny Ns, asserts the message floor")
+    parser.add_argument("--dim", type=int, default=16,
+                        help="synthetic per-member model size (default 16)")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="share rounds per curve point (default 4)")
+    parser.add_argument("--large-n", type=int, default=10000,
+                        help="headline segmented-run size (default 10000)")
+    parser.add_argument("--large-rounds", type=int, default=8)
+    parser.add_argument("--flat-measure-max", type=int, default=512,
+                        help="measure the flat mesh up to this N; larger "
+                             "points use the exact closed form")
+    parser.add_argument("--max-hier-slope", type=float, default=1.5)
+    parser.add_argument("--min-flat-slope", type=float, default=1.8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--work-dir", default=None,
+                        help="segment checkpoint scratch (default: temp dir)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        ns = [16, 32, 64]
+        cluster_of = {16: 4, 32: 8, 64: 8}
+        large_n, large_rounds = 256, 6
+    else:
+        ns = [64, 256, 1000, 4000, args.large_n]
+        cluster_of = {n: max(8, int(round(np.sqrt(n)))) for n in ns}
+        large_n, large_rounds = args.large_n, args.large_rounds
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        work_dir = Path(args.work_dir) if args.work_dir else Path(tmp)
+
+        flat_curve = [
+            flat_point(n, args.dim, measure=n <= args.flat_measure_max)
+            for n in ns
+        ]
+        hier_curve = [
+            hier_point(n, cluster_of[n], args.dim, args.rounds, args.seed)
+            for n in ns
+        ]
+        large = segmented_large_run(
+            large_n, cluster_of.get(large_n, max(8, int(round(np.sqrt(large_n))))),
+            args.dim, large_rounds, args.seed, work_dir,
+        )
+
+    flat_slope = loglog_slope(flat_curve)
+    hier_slope = loglog_slope(hier_curve)
+
+    report = {
+        "bench": "scale",
+        "smoke": args.smoke,
+        "dim": args.dim,
+        "flat_curve": flat_curve,
+        "hier_curve": hier_curve,
+        "flat_loglog_slope": flat_slope,
+        "hier_loglog_slope": hier_slope,
+        "large_run": large,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+    }
+
+    print(json.dumps(report, indent=2))
+    failures = []
+    if hier_slope >= args.max_hier_slope:
+        failures.append(
+            f"hier slope {hier_slope:.3f} >= {args.max_hier_slope} (not sub-quadratic)"
+        )
+    if flat_slope < args.min_flat_slope:
+        failures.append(
+            f"flat slope {flat_slope:.3f} < {args.min_flat_slope} (mesh should be ~N^2)"
+        )
+    for fp, hp in zip(flat_curve, hier_curve):
+        if hp["messages_per_round"] >= fp["messages_per_round"]:
+            failures.append(
+                f"hier >= flat messages at N={fp['n']}: "
+                f"{hp['messages_per_round']} vs {fp['messages_per_round']}"
+            )
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if failures:
+        for f in failures:
+            print("FAIL:", f, file=sys.stderr)
+        return 1
+    print("bench_scale ok "
+          f"(flat slope {flat_slope:.2f}, hier slope {hier_slope:.2f}, "
+          f"{large['n']}-residence segmented run resumed bit-identically)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="forecaster model (lr, svm, svm_rbf, bp, lstm)")
         p.add_argument("--episodes", type=int, default=2)
         p.add_argument("--seed", type=int, default=0)
+        # Two-tier federation (opt-in).  Leaving --cluster-size unset
+        # keeps hierarchy=None — the flat mesh, and checkpoint digests
+        # identical to earlier builds.
+        p.add_argument("--cluster-size", type=int, default=None,
+                       help="residences per neighbourhood cluster; enables "
+                            "two-tier hierarchical federation (default: flat "
+                            "mesh)")
+        p.add_argument("--participation", type=float, default=1.0,
+                       help="fraction of each cluster sampled per γ round "
+                            "(hierarchical mode; default 1.0)")
+        p.add_argument("--upper-topology", default="ring",
+                       choices=("full", "ring", "star"),
+                       help="aggregator-tier topology (hierarchical mode; "
+                            "default ring)")
 
     p_tr = sub.add_parser(
         "train",
@@ -130,9 +144,24 @@ def pipeline_config(args: argparse.Namespace):
     Serving reconstructs it to satisfy the checkpoint digest guard, so
     any change here invalidates existing checkpoints for the CLI.
     """
-    from repro.config import DataConfig, DQNConfig, ForecastConfig, PFDRLConfig
+    from repro.config import (
+        DataConfig,
+        DQNConfig,
+        FederationConfig,
+        ForecastConfig,
+        HierarchyConfig,
+        PFDRLConfig,
+    )
 
     mpd = args.minutes_per_day
+    hierarchy = None
+    if getattr(args, "cluster_size", None) is not None:
+        hierarchy = HierarchyConfig(
+            cluster_size=args.cluster_size,
+            upper_topology=args.upper_topology,
+            participation=args.participation,
+            seed=args.seed,
+        )
     return PFDRLConfig(
         data=DataConfig(
             n_residences=args.residences,
@@ -145,6 +174,7 @@ def pipeline_config(args: argparse.Namespace):
             model=args.model, window=max(2, mpd // 24), horizon=max(2, mpd // 24)
         ),
         dqn=DQNConfig(hidden_width=16, reward_scale=1.0 / 30.0),
+        federation=FederationConfig(hierarchy=hierarchy),
         episodes=args.episodes,
         seed=args.seed,
     )

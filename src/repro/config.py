@@ -27,6 +27,7 @@ __all__ = [
     "DataConfig",
     "ForecastConfig",
     "DQNConfig",
+    "HierarchyConfig",
     "FederationConfig",
     "TraceConfig",
     "FaultConfig",
@@ -166,6 +167,13 @@ class DQNConfig:
     #: False reproduces the paper's vanilla DQN; available as an
     #: extension/ablation.
     double_q: bool = False
+    #: Store the stacked-engine Adam moment arrays (``StackedAdam``) in
+    #: float32 instead of float64.  The learn step at paper-exact width
+    #: is memory-bound in the moment updates; halving their footprint
+    #: lifts that ceiling.  Off by default — float64 keeps the bitwise
+    #: serial-exact contract; float32 is tolerance-equivalent (pinned by
+    #: a parity test) and only affects the stacked engine.
+    float32_moments: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -184,19 +192,75 @@ class DQNConfig:
 
 
 @dataclass(frozen=True)
+class HierarchyConfig:
+    """Two-tier (cluster-of-clusters) federation parameters.
+
+    Residences are partitioned into neighbourhood clusters of
+    ``cluster_size`` (contiguous by residence index; the last cluster
+    may be smaller).  Each cluster is headed by an aggregator: members
+    upload base layers over a reliable star LAN (tier 0), aggregators
+    federate cluster means over a sparse ``upper_topology`` (tier 1)
+    that rides the ordinary transport stack — so fault injection,
+    replayable traces and self-healing compose unchanged on the upper
+    tier.  Personalization layers never leave the residence.
+
+    ``participation`` enables seeded partial participation: each γ
+    round only that fraction of every cluster's members uploads (a pure
+    function of ``seed`` and the round index, so resume is trivially
+    deterministic); the aggregator fills in absentees from its cached
+    last uploads, discounted by age like the PR-1 staleness path and
+    dropped entirely past ``staleness_horizon`` rounds.
+    """
+
+    cluster_size: int = 8
+    upper_topology: str = "ring"  # full | ring | star
+    upper_hub: int = 0
+    #: Fraction of each cluster's members that uploads per γ round.
+    participation: float = 1.0
+    #: Floor on the per-cluster sample size (clamped to the cluster size).
+    min_participants: int = 1
+    #: Cached (non-participating) uploads older than this many rounds are
+    #: excluded from the cluster mean; 0 keeps fresh uploads only.
+    staleness_horizon: int = 4
+    #: Geometric per-round discount applied to cached uploads.
+    staleness_decay: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        if self.upper_topology not in ("full", "ring", "star"):
+            raise ValueError("upper_topology must be one of full|ring|star")
+        if self.upper_hub < 0:
+            raise ValueError("upper_hub must be >= 0")
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError("participation must be in (0, 1]")
+        if self.min_participants < 1:
+            raise ValueError("min_participants must be >= 1")
+        if self.staleness_horizon < 0:
+            raise ValueError("staleness_horizon must be >= 0")
+        if not 0.0 < self.staleness_decay <= 1.0:
+            raise ValueError("staleness_decay must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class FederationConfig:
     """Decentralized federation parameters.
 
     ``beta`` and ``gamma`` are broadcast periods in *hours* (paper sweeps
     {0.1, 0.5, 1, 2, 6, 12, 24} and picks 12 for both).  ``alpha`` is the
     number of shared base layers out of ``DQNConfig.n_hidden_layers``
-    (paper's best: 6).
+    (paper's best: 6).  ``hierarchy`` (opt-in) replaces the flat γ-round
+    mesh with the two-tier cluster federation of
+    :class:`HierarchyConfig`; ``None`` keeps the paper's flat topology
+    bit-identically.
     """
 
     alpha: int = 6
     beta_hours: float = 12.0
     gamma_hours: float = 12.0
     topology: str = "full"  # full | ring | star
+    hierarchy: HierarchyConfig | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -19,6 +19,7 @@ standby energy, the paper's headline metric.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 
@@ -28,6 +29,7 @@ from repro.config import DQNConfig, FaultConfig, FederationConfig
 from repro.core.personalization import PersonalizationManager
 from repro.core.streams import ResidenceStream
 from repro.federated.faults import FaultyBus, ReceiveFilter, make_bus
+from repro.federated.hierarchy import HierarchicalFederation
 from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.server import CentralServer
 from repro.federated.topology import make_topology
@@ -230,6 +232,21 @@ class PFDRLTrainer:
             if (fault_config is not None and fault_config.active and sharing == "personalized")
             else None
         )
+        #: Two-tier federation (opt-in via ``FederationConfig.hierarchy``,
+        #: personalized sharing only): γ rounds route through per-cluster
+        #: aggregators and a sparse upper tier instead of the flat mesh.
+        #: Faults move to the upper tier with it — aggregator links are
+        #: the WAN hops; the cluster LANs stay reliable — and the flat
+        #: bus below carries zero traffic (kept for state compatibility).
+        #: Churn-snapshot recovery is a flat-mesh residence-level mode
+        #: and does not apply to aggregator-tier faults.
+        self.hierarchy: HierarchicalFederation | None = None
+        hier_cfg = self.federation_config.hierarchy
+        if hier_cfg is not None and sharing == "personalized":
+            self.hierarchy = HierarchicalFederation(
+                n, hier_cfg, faults=self.fault_config
+            )
+            self.fault_config = None
         self.bus = make_bus(self.topology, self.fault_config)
         self.server = CentralServer() if sharing == "full" else None
         self.scheduler = BroadcastScheduler(
@@ -271,6 +288,15 @@ class PFDRLTrainer:
         γ round across all days, plus the :meth:`finalize` round)."""
         return self._params_broadcast
 
+    @property
+    def n_quorum_skips(self) -> int:
+        """Cumulative γ-round aggregations skipped for lack of quorum —
+        read from wherever the fault-capable fabric lives (the upper
+        tier under hierarchy, the flat mesh otherwise)."""
+        if self.hierarchy is not None:
+            return self.hierarchy.n_quorum_skips
+        return self.bus.stats.n_quorum_skips
+
     def run_day(self) -> PFDRLDayResult:
         """One simulated day: hour episodes per device, γ-periodic sharing."""
         mpd = self.minutes_per_day
@@ -287,7 +313,7 @@ class PFDRLTrainer:
         n_events = 0
         sgd_before = sum(a.sgd_steps for a in self.agents)
         params_before = self._params_broadcast
-        quorum_before = self.bus.stats.n_quorum_skips
+        quorum_before = self.n_quorum_skips
         sgd_by_agent = (
             {key: agent.sgd_steps for key, agent in self._agents.items()}
             if tel
@@ -305,7 +331,7 @@ class PFDRLTrainer:
             if seg_hi in events:
                 round_t0 = tel.now()
                 round_params = self._params_broadcast
-                round_quorum = self.bus.stats.n_quorum_skips
+                round_quorum = self.n_quorum_skips
                 with tel.timer("pfdrl.share"):
                     self._share_round()
                 tel.event(
@@ -313,7 +339,7 @@ class PFDRLTrainer:
                     day=day,
                     round=n_events,
                     params_tx=self._params_broadcast - round_params,
-                    quorum_skips=self.bus.stats.n_quorum_skips - round_quorum,
+                    quorum_skips=self.n_quorum_skips - round_quorum,
                     seconds=tel.now() - round_t0,
                 )
                 n_events += 1
@@ -328,7 +354,7 @@ class PFDRLTrainer:
             n_broadcast_events=n_events,
             params_broadcast=self._params_broadcast - params_before,
             sgd_steps=sum(a.sgd_steps for a in self.agents) - sgd_before,
-            n_quorum_skipped=self.bus.stats.n_quorum_skips,
+            n_quorum_skipped=self.n_quorum_skips,
         )
         if tel:
             for key in sorted(self._agents):
@@ -348,7 +374,7 @@ class PFDRLTrainer:
                 seconds=tel.now() - day_t0,
                 sgd_steps=result.sgd_steps,
                 params_tx=result.params_broadcast,
-                quorum_skips=self.bus.stats.n_quorum_skips - quorum_before,
+                quorum_skips=self.n_quorum_skips - quorum_before,
                 mean_reward=result.mean_reward,
                 reward_fraction=result.reward_fraction,
             )
@@ -361,6 +387,8 @@ class PFDRLTrainer:
             monitor = getattr(self.bus, "monitor", None)
             if monitor is not None:
                 tel.record_selfheal(monitor, prefix="pfdrl.selfheal")
+            if self.hierarchy is not None:
+                self.hierarchy.record_telemetry(tel, prefix="pfdrl.hier")
         return result
 
     # ------------------------------------------------------------------
@@ -596,6 +624,8 @@ class PFDRLTrainer:
         }
         if self.server is not None:
             state["server"] = self.server.state_dict()
+        if self.hierarchy is not None:
+            state["hierarchy"] = self.hierarchy.state_dict()
         if self._agent_snapshots is not None:
             state["snapshots"] = {
                 str(rid): dict(slots)
@@ -619,6 +649,8 @@ class PFDRLTrainer:
         self.bus.load_state_dict(state["bus"])
         if self.server is not None:
             self.server.load_state_dict(state["server"])
+        if self.hierarchy is not None:
+            self.hierarchy.load_state_dict(state["hierarchy"])
         if "snapshots" in state and self._agent_snapshots is not None:
             self._agent_snapshots = {
                 int(rid): dict(slots)
@@ -660,6 +692,9 @@ class PFDRLTrainer:
                     2 * len(group)
                 )
             return
+        if self.hierarchy is not None:
+            self._hierarchical_share_round()
+            return
         if self.fault_config is not None:
             self._faulty_share_round()
             return
@@ -679,6 +714,51 @@ class PFDRLTrainer:
                     list(m.payload) for m in self.bus.collect(key[0], tag=tag)
                 ]
                 self._managers[key].apply_aggregation(received)
+
+    def _hierarchical_share_round(self) -> None:
+        """γ-round sharing through the two-tier federation.
+
+        Each share group becomes one hierarchy request: participants
+        upload their α base layers to their cluster aggregator, the
+        aggregators federate cluster means over the sparse upper tier,
+        and every served residence *replaces* its base layers with the
+        downlinked global estimate (its own contribution is already in
+        the cluster mean via the aggregator's upload cache, so the
+        local model carries weight 0 in ``apply_aggregation`` — unlike
+        the mesh path, where the local model is one more peer).
+        Personalization layers never leave the residence, exactly as on
+        the flat mesh.  With pool workers, base layers live in the
+        shared weight arena, so the in-place apply is visible to the
+        owning worker without any state push.
+        """
+        hierarchy = self.hierarchy
+        assert hierarchy is not None
+        requests = []
+        for group in self._share_groups:
+            slot = group[0][1]
+            key_of = {key[0]: key for key in group}
+
+            def get(member: int, key_of=key_of) -> list[np.ndarray]:
+                return self._managers[key_of[member]].base_weights()
+
+            def apply(member: int, merged: list[np.ndarray], key_of=key_of) -> None:
+                self._managers[key_of[member]].apply_aggregation(
+                    [merged], client_weights=[0.0, 1.0]
+                )
+
+            requests.append((f"drl-base/{slot}", get, apply))
+        summary = hierarchy.share_round(requests)
+        self._params_broadcast += summary["params_tx"]
+        if self.telemetry:
+            # Journal events carry JSON scalars only; flatten the
+            # per-cluster participant sets to a canonical string.
+            self.telemetry.event(
+                "pfdrl.hier.round",
+                round=summary["round"],
+                participants=json.dumps(summary["participants"], sort_keys=True),
+                params_tx=summary["params_tx"],
+                quorum_skips=summary["quorum_skips"],
+            )
 
     def _faulty_share_round(self) -> None:
         """γ-round sharing over the fault-injected mesh.

@@ -30,8 +30,6 @@ against resuming under a different configuration.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -43,7 +41,12 @@ from repro.data.dataset import NeighborhoodDataset
 from repro.data.generator import generate_neighborhood
 from repro.federated.dfl import DFLRoundResult, DFLTrainer
 from repro.obs.telemetry import Telemetry, ensure_telemetry
-from repro.persist import CheckpointError, CheckpointStore, TrainingInterrupted
+from repro.persist import (
+    CheckpointError,
+    CheckpointStore,
+    TrainingInterrupted,
+    json_digest,
+)
 
 __all__ = ["PFDRLSystem", "SystemResult", "config_digest"]
 
@@ -58,15 +61,13 @@ def config_digest(
     and checked on resume and on serving-snapshot load, so state from
     one configuration can never be silently rebound to another.
     """
-    blob = json.dumps(
+    return json_digest(
         {
             "config": config_to_dict(config),
             "forecast_mode": forecast_mode,
             "sharing": sharing,
-        },
-        sort_keys=True,
+        }
     )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -28,6 +28,7 @@ from repro.experiments import (
     fig14_ems_time,
     headline,
     robustness,
+    scale,
     selfheal,
     table01_reward,
     table02_methods,
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table02_methods": table02_methods.run,
     "headline": headline.run,
     "robustness": robustness.run,
+    "scale": scale.run,
     "selfheal": selfheal.run,
     "ablation_topology": ablations.run_topology,
     "ablation_dqn": ablations.run_dqn,

@@ -1,0 +1,217 @@
+"""Hierarchical-federation scale study — comm cost and resumability.
+
+Beyond the paper: the flat γ-round mesh costs O(N²) messages per share
+round, which caps the neighbourhood size the reproduction can simulate.
+The two-tier :class:`~repro.federated.hierarchy.HierarchicalFederation`
+replaces it with per-cluster star LANs plus a sparse aggregator tier —
+O(N) messages — and :class:`~repro.federated.hierarchy.
+SegmentedScaleRunner` executes large-N runs as digest-guarded,
+bit-identically resumable checkpoint segments.
+
+``run`` sweeps N and reports messages-per-round for the flat mesh vs
+the hierarchy (the sub-quadratic claim in miniature;
+``benchmarks/bench_scale.py`` fits the exponents at full scale).
+
+``main`` is the CI smoke entry point (``scale-smoke`` job):
+
+1. a two-tier end-to-end pipeline run (default 32 residences = 4
+   clusters x 8) interrupted mid-training and resumed from its
+   checkpoint, asserting the resumed :class:`~repro.core.system.
+   SystemResult` is **bit-identical** to the uninterrupted run;
+2. a :class:`SegmentedScaleRunner` segment interrupted between
+   checkpoints and resumed, asserting bitwise-equal final weights and
+   identical per-round participant sets;
+3. the message floor: hierarchical messages per round strictly below
+   the flat mesh at the smoke N.
+
+Writes ``scale_smoke.json`` (plus the run journal when ``--telemetry``)
+for artifact upload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import HierarchyConfig
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, small_profile
+from repro.federated.hierarchy import SegmentedScaleRunner
+from repro.federated.topology import make_topology
+from repro.federated.transport import MessageBus
+
+__all__ = ["run", "main", "flat_messages_per_round", "hier_messages_per_round"]
+
+
+def flat_messages_per_round(n: int, dim: int = 4) -> int:
+    """Measured (not modelled) flat-mesh message cost of one γ round.
+
+    Drives one real broadcast round over a full-mesh
+    :class:`MessageBus` — every residence broadcasts its base layers,
+    every residence drains its inbox — and reads the bus counters, the
+    same accounting the hierarchy is measured with.
+    """
+    bus = MessageBus(make_topology("full", n))
+    payload = [np.zeros(dim)]
+    for i in range(n):
+        bus.broadcast(i, payload, tag="w")
+    for i in range(n):
+        bus.collect(i, tag="w")
+    bus.advance_round()
+    return bus.stats.n_messages
+
+
+def hier_messages_per_round(
+    n: int, cluster_size: int, dim: int = 4, rounds: int = 4, seed: int = 0
+) -> float:
+    """Mean per-round message cost of the two-tier federation at *n*."""
+    runner = SegmentedScaleRunner(
+        n,
+        HierarchyConfig(cluster_size=cluster_size, upper_topology="ring", seed=seed),
+        dim=dim,
+        seed=seed,
+    )
+    for _ in range(rounds):
+        runner.run_round()
+    tiers = runner.summary()["tiers"]
+    total = tiers["tier0"]["n_messages"] + tiers["tier1"]["n_messages"]
+    return total / rounds
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Messages-per-round vs N: flat mesh vs two-tier hierarchy.
+
+    Series (x = residences): ``messages flat`` and ``messages hier``;
+    notes carry the ratio at the largest N and the cluster size used.
+    """
+    del profile  # scale is set by the sweep itself, not the profile
+    result = ExperimentResult(
+        name="scale",
+        description="γ-round message cost vs N: flat mesh vs two-tier hierarchy",
+        x_label="residences",
+        y_label="messages per share round",
+    )
+    ns = [16, 32, 64, 128]
+    cluster_size = 8
+    flat = [flat_messages_per_round(n) for n in ns]
+    hier = [hier_messages_per_round(n, cluster_size, seed=seed) for n in ns]
+    result.add_series("messages flat", ns, [float(v) for v in flat])
+    result.add_series("messages hier", ns, hier)
+    result.notes["cluster_size"] = cluster_size
+    result.notes["ratio_at_max_n"] = flat[-1] / hier[-1]
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI smoke: two-tier resume bit-identity + sub-quadratic floor."""
+    import argparse
+    import json
+    import shutil
+    from pathlib import Path
+
+    from repro.core.system import PFDRLSystem
+    from repro.persist import CheckpointStore, TrainingInterrupted
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--residences", type=int, default=32)
+    parser.add_argument("--cluster-size", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    hier_cfg = HierarchyConfig(
+        cluster_size=args.cluster_size,
+        upper_topology="ring",
+        participation=0.75,
+        seed=args.seed,
+    )
+    profile = small_profile(args.seed).with_data(
+        n_residences=args.residences, n_days=3, device_types=("tv", "light")
+    )
+    profile = profile.with_federation(hierarchy=hier_cfg)
+    config = profile.pfdrl_config(seed=args.seed)
+
+    # 1. Uninterrupted two-tier pipeline run (the reference bits).
+    full = PFDRLSystem(config).run().to_dict()
+
+    # 2. The same run crashed mid-training and resumed from durable
+    #    checkpoints — the hierarchy state (round counter, upper-tier
+    #    bus, aggregator upload caches) rides the system checkpoint, so
+    #    resumed participant sampling and staleness ages replay exactly.
+    ckpt_dir = out_dir / "scale_ckpt"
+    shutil.rmtree(ckpt_dir, ignore_errors=True)
+    store = CheckpointStore(ckpt_dir)
+    interrupted_at = None
+    try:
+        PFDRLSystem(config).run(checkpoint_store=store, stop_after_step=2)
+    except TrainingInterrupted as stop:
+        interrupted_at = stop.args[0] if stop.args else None
+    resumed = PFDRLSystem(config).run(checkpoint_store=store, resume=True).to_dict()
+    assert resumed == full, (
+        "resumed two-tier run diverged from the uninterrupted reference"
+    )
+
+    # 3. Segmented scale runner: interrupt between segments, resume,
+    #    and require bitwise-equal weights and identical participation.
+    n_scale, rounds = 8 * args.cluster_size, 12
+    scale_cfg = HierarchyConfig(
+        cluster_size=args.cluster_size,
+        upper_topology="ring",
+        participation=0.5,
+        seed=args.seed,
+    )
+    reference = SegmentedScaleRunner(n_scale, scale_cfg, dim=8, seed=args.seed)
+    ref_rounds = [reference.run_round() for _ in range(rounds)]
+
+    seg_dir = out_dir / "scale_segments"
+    shutil.rmtree(seg_dir, ignore_errors=True)
+    seg_store = CheckpointStore(seg_dir)
+    first = SegmentedScaleRunner(n_scale, scale_cfg, dim=8, seed=args.seed)
+    try:
+        first.run(rounds, store=seg_store, segment_rounds=5, stop_after_round=7)
+        raise AssertionError("expected TrainingInterrupted at round 7")
+    except TrainingInterrupted:
+        pass
+    second = SegmentedScaleRunner(n_scale, scale_cfg, dim=8, seed=args.seed)
+    second.resume(seg_store)
+    resumed_rounds = [second.run_round() for _ in range(rounds - second.rounds_done)]
+    assert np.array_equal(second.weights, reference.weights), (
+        "segment-resumed weights are not bit-identical"
+    )
+    assert resumed_rounds == ref_rounds[-len(resumed_rounds):], (
+        "resumed participant sets / round summaries diverged"
+    )
+
+    # 4. Sub-quadratic floor at the smoke N.
+    flat_msgs = flat_messages_per_round(n_scale)
+    hier_msgs = hier_messages_per_round(n_scale, args.cluster_size, seed=args.seed)
+    assert hier_msgs < flat_msgs, (
+        f"hierarchy should beat the flat mesh at N={n_scale}: "
+        f"{hier_msgs} >= {flat_msgs}"
+    )
+
+    journal = {
+        "residences": args.residences,
+        "cluster_size": args.cluster_size,
+        "interrupted_at_step": interrupted_at,
+        "pipeline_resume_bit_identical": True,
+        "segment_resume_bit_identical": True,
+        "scale_n": n_scale,
+        "flat_messages_per_round": flat_msgs,
+        "hier_messages_per_round": hier_msgs,
+        "message_ratio": flat_msgs / hier_msgs,
+        "tiers": {
+            name: stats.as_dict()
+            for name, stats in second.hier.stats_by_tier().items()
+        },
+    }
+    (out_dir / "scale_smoke.json").write_text(json.dumps(journal, indent=2) + "\n")
+    print(json.dumps(journal, indent=2))
+    print("scale smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

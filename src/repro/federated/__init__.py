@@ -19,6 +19,10 @@
   failure traces (LinkGuardian-style bursts) driving the fault fabric.
 - :mod:`repro.federated.selfheal` — per-link EWMA health monitoring and
   the rerouting overlay that heals around persistently lossy links.
+- :mod:`repro.federated.hierarchy` — two-tier cluster-of-clusters
+  federation: per-neighbourhood aggregators over star LANs, a sparse
+  fault-capable upper tier, seeded partial participation, and the
+  segmented large-N scale runner.
 """
 
 from repro.federated.topology import Topology, make_topology
@@ -41,6 +45,13 @@ from repro.federated.selfheal import LinkHealthMonitor, TopologyOverlay, link_ke
 from repro.federated.scheduler import BroadcastScheduler
 from repro.federated.dfl import DFLClient, DFLTrainer, DFLRoundResult
 from repro.federated.server import CentralServer
+from repro.federated.hierarchy import (
+    ClusterAggregator,
+    HierarchicalFederation,
+    ParticipationSampler,
+    SegmentedScaleRunner,
+    assign_clusters,
+)
 
 __all__ = [
     "Topology",
@@ -69,4 +80,9 @@ __all__ = [
     "DFLTrainer",
     "DFLRoundResult",
     "CentralServer",
+    "ClusterAggregator",
+    "HierarchicalFederation",
+    "ParticipationSampler",
+    "SegmentedScaleRunner",
+    "assign_clusters",
 ]

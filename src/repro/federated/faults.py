@@ -486,6 +486,10 @@ class ReceiveFilter:
         self.n_expected = int(n_expected)
         self.payloads: list[list[np.ndarray]] = []
         self.ages: list[int] = []
+        #: Sender id of each admitted payload (aligned with ``payloads``)
+        #: — lets consumers weight survivors per sender, e.g. the
+        #: hierarchical upper tier weighting cluster means by size.
+        self.srcs: list[int] = []
 
     def admit(self, messages: Sequence[Message]) -> "ReceiveFilter":
         for msg in messages:
@@ -498,6 +502,7 @@ class ReceiveFilter:
                 continue
             self.payloads.append(list(msg.payload))
             self.ages.append(age)
+            self.srcs.append(msg.src)
         return self
 
     def accept(self) -> bool:

@@ -51,6 +51,12 @@ class BroadcastScheduler:
             return np.zeros(0, dtype=np.int64)
         return np.arange(first, stop_minute, self.period_minutes, dtype=np.int64)
 
+    def count_events(self, start_minute: int, stop_minute: int) -> int:
+        """Number of firing minutes in ``[start, stop)`` without
+        materialising them — the scale runner sizes segment work with
+        this before deciding how many rounds fit a checkpoint segment."""
+        return int(self.events_in(start_minute, stop_minute).size)
+
     def events_per_day(self) -> float:
         """Average number of broadcasts per simulated day."""
         return self.minutes_per_day / self.period_minutes

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-__all__ = ["Topology", "make_topology"]
+__all__ = ["Topology", "make_topology", "TOPOLOGY_NAMES"]
 
 
 @dataclass(frozen=True)
@@ -39,23 +39,36 @@ class Topology:
         return self.n_agents > 0 and nx.is_connected(self.graph)
 
 
+TOPOLOGY_NAMES = ("full", "ring", "star")
+
+
 def make_topology(name: str, n_agents: int, hub: int = 0) -> Topology:
     """Build a topology: ``full`` (mesh), ``ring``, or ``star``.
 
-    ``hub`` selects the star's centre (the "cloud" in the FL baseline).
+    ``hub`` selects the star's centre (the "cloud" in the FL baseline;
+    also the cluster aggregator in the hierarchical federation).  Both
+    the name and the hub index are validated up front so a typo or a
+    stale agent id fails here, loudly, instead of misbehaving inside a
+    trainer.
     """
+    if name not in TOPOLOGY_NAMES:
+        raise ValueError(
+            f"unknown topology {name!r}; choose one of "
+            + "|".join(TOPOLOGY_NAMES)
+        )
     if n_agents < 1:
-        raise ValueError("n_agents must be >= 1")
+        raise ValueError(f"n_agents must be >= 1, got {n_agents}")
+    if not 0 <= hub < n_agents:
+        raise ValueError(
+            f"hub {hub} out of range for {n_agents} agents "
+            f"(need 0 <= hub < {n_agents})"
+        )
     if name == "full":
         g = nx.complete_graph(n_agents)
     elif name == "ring":
         g = nx.cycle_graph(n_agents) if n_agents > 2 else nx.path_graph(n_agents)
-    elif name == "star":
-        if not 0 <= hub < n_agents:
-            raise ValueError("hub out of range")
+    else:  # star
         g = nx.Graph()
         g.add_nodes_from(range(n_agents))
         g.add_edges_from((hub, i) for i in range(n_agents) if i != hub)
-    else:
-        raise ValueError(f"unknown topology {name!r}; choose full|ring|star")
     return Topology(name=name, graph=g)

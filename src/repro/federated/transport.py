@@ -217,6 +217,31 @@ class TransportStats:
                 k: int(v) for k, v in counters.items()
             }
 
+    def add(self, other: "TransportStats") -> "TransportStats":
+        """Fold *other*'s counters into this one (returns ``self``).
+
+        Used by the hierarchical federation to aggregate the per-cluster
+        tier-0 buses into one tier total; per-agent / per-tag / per-link
+        breakdowns are merged key-wise.
+        """
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+        for agent, n in other.per_agent_sent.items():
+            self.per_agent_sent[agent] = self.per_agent_sent.get(agent, 0) + n
+        for tag, n in other.per_tag_params.items():
+            self.per_tag_params[tag] = self.per_tag_params.get(tag, 0) + n
+        for (src, dst), counters in other.per_link.items():
+            self.record_link(src, dst, **counters)
+        return self
+
+    @classmethod
+    def total(cls, stats: "Sequence[TransportStats]") -> "TransportStats":
+        """A fresh :class:`TransportStats` summing every entry of *stats*."""
+        out = cls()
+        for s in stats:
+            out.add(s)
+        return out
+
     def record(self, msg: Message, count_tx: bool = True) -> None:
         self.n_messages += 1
         self.n_params += msg.n_params

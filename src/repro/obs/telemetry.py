@@ -109,6 +109,15 @@ class Telemetry:
         for (u, v), est in monitor.link_estimates().items():
             self.gauge(f"{prefix}.ewma.{u}-{v}", est)
 
+    def record_tiers(self, tiers: Mapping[str, Any], prefix: str = "hier") -> None:
+        """Mirror a ``{tier_name: TransportStats}`` mapping into gauges as
+        ``{prefix}.{tier}.{counter}`` — the per-tier communication split
+        the scale benchmark and the CI smoke floor read from.  Tier names
+        are free-form, so per-cluster splits (``cluster.3``) use the same
+        instrument."""
+        for tier, stats in tiers.items():
+            self.record_transport(stats, prefix=f"{prefix}.{tier}")
+
     # -- persistence ---------------------------------------------------
     def state_dict(self) -> dict:
         """Counters, gauges, stopwatch totals and the journal so far."""
@@ -206,6 +215,9 @@ class NullTelemetry(Telemetry):
         return None
 
     def record_selfheal(self, monitor, prefix: str = "selfheal") -> None:
+        return None
+
+    def record_tiers(self, tiers: Mapping[str, Any], prefix: str = "hier") -> None:
         return None
 
     def timing_record(self, label: str) -> TimingRecord:

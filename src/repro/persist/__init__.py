@@ -28,6 +28,7 @@ from repro.persist.checkpoint import (
     read_manifest,
     save_checkpoint,
 )
+from repro.persist.digest import json_digest
 from repro.persist.state import StateError, flatten_state, unflatten_state
 from repro.persist.store import INDEX_NAME, CheckpointStore
 
@@ -39,6 +40,7 @@ __all__ = [
     "CheckpointError",
     "TrainingInterrupted",
     "StateError",
+    "json_digest",
     "flatten_state",
     "unflatten_state",
     "save_checkpoint",

@@ -1,0 +1,28 @@
+"""Configuration digests guarding checkpoint resume.
+
+Every resumable driver stamps its checkpoints with a SHA-256 over a
+JSON view of its configuration and refuses to restore state written
+under a different one — mixing incompatible run state would diverge
+silently instead of failing loudly.  The helper lives here (rather than
+with any one driver) so the system pipeline, the serving snapshot
+loader and the hierarchical scale runner all guard with the same
+canonical encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["json_digest"]
+
+
+def json_digest(obj: Any) -> str:
+    """SHA-256 hex digest of *obj*'s canonical (sorted-key) JSON form.
+
+    *obj* must be JSON-serialisable — pass configs through
+    :func:`repro.config.config_to_dict` first.
+    """
+    blob = json.dumps(obj, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -387,7 +387,12 @@ class StackedLearner:
         self.qstack = qstack
         self.tstack = tstack
         self.replay = _StackedReplay([a.replay for a in agents])
-        self.optim = StackedAdam([a.optimizer for a in agents])
+        # float32 moment storage is a config opt-in (off by default: the
+        # float64 arena keeps the bitwise serial-exact contract).
+        self.optim = StackedAdam(
+            [a.optimizer for a in agents],
+            moment_dtype=np.float32 if ref.float32_moments else np.float64,
+        )
         self._learn_steps = np.array([a.learn_steps for a in agents], dtype=np.int64)
         self._sgd_steps = np.array([a.sgd_steps for a in agents], dtype=np.int64)
         self._observed = np.array([a._observed for a in agents], dtype=np.int64)

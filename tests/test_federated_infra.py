@@ -39,6 +39,29 @@ class TestTopology:
         with pytest.raises(ValueError):
             make_topology("hypercube", 4)
 
+    @pytest.mark.parametrize(
+        "name, n_agents, hub, match",
+        [
+            ("hypercube", 4, 0, "unknown topology"),
+            ("mesh", 3, 0, "unknown topology"),
+            ("", 3, 0, "unknown topology"),
+            ("STAR", 3, 0, "unknown topology"),  # names are case-sensitive
+            ("full", 0, 0, "n_agents"),
+            ("ring", -1, 0, "n_agents"),
+            ("star", 3, 3, "hub"),
+            ("star", 3, -1, "hub"),
+            ("full", 4, 9, "hub"),  # hub validated for every topology
+            ("ring", 2, -5, "hub"),
+        ],
+    )
+    def test_invalid_inputs_rejected(self, name, n_agents, hub, match):
+        with pytest.raises(ValueError, match=match):
+            make_topology(name, n_agents, hub=hub)
+
+    def test_error_message_names_choices(self):
+        with pytest.raises(ValueError, match="full|ring|star"):
+            make_topology("torus", 4)
+
     def test_unknown_agent_rejected(self):
         with pytest.raises(KeyError):
             make_topology("full", 3).neighbors(7)

@@ -124,6 +124,143 @@ class TestTrainerResume:
         assert deep_equal(resumed.state(), full.state())
 
 
+class TestHierarchyResume:
+    """Two-tier federation state rides the trainer checkpoint: resumed
+    runs must replay the same participant samples, staleness ages, and
+    merged weights bit-for-bit."""
+
+    @staticmethod
+    def make_hier_config(participation=0.5, faults=None, seed=0):
+        from repro.config import FederationConfig, HierarchyConfig
+
+        return PFDRLConfig(
+            data=DataConfig(n_residences=4, n_days=4, minutes_per_day=240, seed=5),
+            forecast=ForecastConfig(model="lr", window=10, horizon=10),
+            dqn=DQNConfig(hidden_width=16),
+            federation=FederationConfig(
+                hierarchy=HierarchyConfig(
+                    cluster_size=2,
+                    upper_topology="ring",
+                    participation=participation,
+                    seed=seed,
+                )
+            ),
+            episodes=2,
+            seed=seed,
+            faults=faults,
+        )
+
+    @classmethod
+    def make_hier_drl(cls, config, telemetry=None):
+        from repro.core.pfdrl import PFDRLTrainer
+
+        dataset, dfl = make_dfl(config)
+        dfl.run(3)
+        streams = build_streams(dataset.slice_days(0, 3), dfl, t0=0)
+        return PFDRLTrainer(
+            streams,
+            dqn_config=config.dqn,
+            federation_config=config.federation,
+            seed=config.seed,
+            fault_config=config.faults,
+            telemetry=telemetry,
+        )
+
+    def test_hierarchical_trainer_resume_bit_identical(self):
+        config = self.make_hier_config()
+
+        full = self.make_hier_drl(config)
+        for _ in range(3):
+            full.run_day()
+
+        part = self.make_hier_drl(config)
+        part.run_day()
+        snap = through_codec(part.state())
+        resumed = self.make_hier_drl(config)
+        resumed.restore(snap)
+        for _ in range(2):
+            resumed.run_day()
+
+        assert deep_equal(resumed.state(), full.state())
+
+    def test_hierarchy_flat_bus_carries_no_traffic(self):
+        trainer = self.make_hier_drl(self.make_hier_config())
+        trainer.run_day()
+        assert trainer.hierarchy is not None
+        assert trainer.bus.stats.n_messages == 0
+        tiers = trainer.hierarchy.stats_by_tier()
+        assert tiers["tier0"].n_messages > 0
+
+    @staticmethod
+    def participation_events(telemetry):
+        return [
+            {k: v for k, v in e.items() if k in ("round", "participants")}
+            for e in telemetry.journal.events
+            if e.get("kind") == "pfdrl.hier.round"
+        ]
+
+    def test_participation_sets_replay_across_resume(self):
+        """Same seed + same trace ⇒ identical sampled participant sets,
+        whether the run is fresh or resumed mid-way from a checkpoint."""
+        config = self.make_hier_config(participation=0.5)
+
+        full_tel = Telemetry(journal=RunJournal())
+        full = self.make_hier_drl(config, telemetry=full_tel)
+        for _ in range(3):
+            full.run_day()
+        reference = self.participation_events(full_tel)
+        assert reference, "expected hier round events in the journal"
+        import json
+
+        for event in reference:
+            for members in json.loads(event["participants"]).values():
+                assert 1 <= len(members) <= 2  # participation=0.5 of 2-clusters
+
+        part_tel = Telemetry(journal=RunJournal())
+        part = self.make_hier_drl(config, telemetry=part_tel)
+        part.run_day()
+        snap = through_codec(part.state())
+
+        resumed_tel = Telemetry(journal=RunJournal())
+        resumed = self.make_hier_drl(config, telemetry=resumed_tel)
+        resumed.restore(snap)
+        for _ in range(2):
+            resumed.run_day()
+
+        replayed = self.participation_events(part_tel) + self.participation_events(
+            resumed_tel
+        )
+        assert replayed == reference
+
+    def test_participation_sets_replay_under_faults(self):
+        config = self.make_hier_config(
+            participation=0.5,
+            faults=FaultConfig(drop_rate=0.3, crash_rate=0.2, recovery_rate=0.5, seed=3),
+        )
+
+        full_tel = Telemetry(journal=RunJournal())
+        full = self.make_hier_drl(config, telemetry=full_tel)
+        for _ in range(3):
+            full.run_day()
+        reference = self.participation_events(full_tel)
+
+        part_tel = Telemetry(journal=RunJournal())
+        part = self.make_hier_drl(config, telemetry=part_tel)
+        part.run_day()
+        snap = through_codec(part.state())
+        resumed_tel = Telemetry(journal=RunJournal())
+        resumed = self.make_hier_drl(config, telemetry=resumed_tel)
+        resumed.restore(snap)
+        for _ in range(2):
+            resumed.run_day()
+
+        replayed = self.participation_events(part_tel) + self.participation_events(
+            resumed_tel
+        )
+        assert replayed == reference
+        assert deep_equal(resumed.state(), full.state())
+
+
 class TestSystemResume:
     @pytest.mark.parametrize("stop_after", [2, 5])
     def test_interrupt_resume_matches_uninterrupted(self, tmp_path, stop_after):

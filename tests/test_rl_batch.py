@@ -22,6 +22,7 @@ from repro.config import DQNConfig, FederationConfig
 from repro.core.pfdrl import PFDRLTrainer
 from repro.core.streams import build_streams
 from repro.data import generate_neighborhood
+from repro.nn.optim import StackedAdam
 from repro.nn.serialization import get_weights
 from repro.rl.batch import BatchedEpisodeEngine, StackedQNet, greedy_rollout
 from repro.rl.dqn import DQNAgent
@@ -247,3 +248,96 @@ class TestEngineChunks:
         agents = {(0, "*"): DQNAgent(dqn_config, seed=0)}
         engine = BatchedEpisodeEngine([[(0, "*")]], agents)
         assert engine.run_chunk([]) == ([], [])
+
+
+class TestFloat32Moments:
+    """Opt-in float32 Adam moment storage (``DQNConfig.float32_moments``).
+
+    Halving the arena weakens the bitwise serial-exact contract to
+    tolerance-equivalence, so the flag is off by default; these tests
+    pin the tolerance, the dtype plumbing, and the checkpoint cast.
+    """
+
+    shapes = [(4, 2), (2,)]
+
+    def build(self, moment_dtype, n=3, seed=123):
+        from repro.nn.module import Parameter
+        from repro.nn.optim import Adam
+
+        rng = np.random.default_rng(seed)
+        inits = [[rng.standard_normal(s) for s in self.shapes] for _ in range(n)]
+        members = [
+            Adam([Parameter(w.copy()) for w in ws], lr=0.01) for ws in inits
+        ]
+        stacked = StackedAdam(members, moment_dtype=moment_dtype)
+        params = [
+            np.stack([m.params[k].data for m in members])
+            for k in range(len(self.shapes))
+        ]
+        return members, stacked, params
+
+    def run_steps(self, stacked, params, n_steps=50, seed=7):
+        rng = np.random.default_rng(seed)
+        for _ in range(n_steps):
+            grads = [rng.standard_normal((stacked.n, *s)) for s in self.shapes]
+            stacked.step(params, grads)
+        return params
+
+    def test_default_dtype_is_float64(self):
+        _, stacked, _ = self.build(np.float64)
+        assert all(m.dtype == np.float64 for m in stacked._m)
+        assert all(v.dtype == np.float64 for v in stacked._v)
+        assert DQNConfig().float32_moments is False
+
+    def test_float32_dtype_threads_to_slots(self):
+        members, stacked, _ = self.build(np.float32)
+        assert all(m.dtype == np.float32 for m in stacked._m)
+        assert all(v.dtype == np.float32 for v in stacked._v)
+        # member slot views share the stack rows, so they downcast too
+        for member in members:
+            assert all(m.dtype == np.float32 for m in member._m)
+
+    def test_invalid_dtype_rejected(self):
+        from repro.nn.module import Parameter
+        from repro.nn.optim import Adam
+
+        members = [Adam([Parameter(np.zeros(2))], lr=0.01)]
+        with pytest.raises(ValueError):
+            StackedAdam(members, moment_dtype=np.int32)
+
+    def test_float32_tracks_float64_within_tolerance(self):
+        _, s64, p64 = self.build(np.float64)
+        _, s32, p32 = self.build(np.float32)
+        self.run_steps(s64, p64)
+        self.run_steps(s32, p32)
+        for a, b in zip(p32, p64):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+        # ... but not bitwise: the cheaper arena really is in play.
+        assert any(not np.array_equal(a, b) for a, b in zip(p32, p64))
+
+    def test_checkpoint_round_trip_keeps_dtype(self):
+        members, stacked, params = self.build(np.float32)
+        self.run_steps(stacked, params, n_steps=10)
+        snaps = [m.state_dict() for m in members]
+
+        fresh_members, fresh_stacked, _ = self.build(np.float32)
+        for member, snap in zip(fresh_members, snaps):
+            member.load_state_dict(snap)
+        for k in range(len(self.shapes)):
+            assert fresh_stacked._m[k].dtype == np.float32
+            np.testing.assert_array_equal(fresh_stacked._m[k], stacked._m[k])
+            np.testing.assert_array_equal(fresh_stacked._v[k], stacked._v[k])
+
+    def test_config_flag_threads_through_batched_trainer(self, streams):
+        config = DQNConfig(
+            hidden_width=10, learning_rate=0.01, epsilon_decay_steps=200,
+            batch_size=8, memory_capacity=200, learn_every=2,
+            float32_moments=True,
+        )
+        trainer = make_trainer(streams, config, batched=True)
+        result = trainer.run_day()
+        assert np.isfinite(result.mean_reward)
+        learners = trainer._engine._learners
+        assert learners, "expected at least one stacked learner"
+        for learner in learners.values():
+            assert all(m.dtype == np.float32 for m in learner.optim._m)
