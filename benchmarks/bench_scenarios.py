@@ -1,0 +1,119 @@
+"""Scenario benchmark: DQN schedule cost vs the coordinated baselines.
+
+Standalone (no pytest-benchmark dependency) so CI can run it with the
+tier-1 package set:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --out BENCH_scenarios.json
+
+Trains the deferrable-load scheduling fleet (``repro.scenario``) under
+each tariff regime — TOU, closed-form real-time, TOU + DR events — and
+reports the eval-day gap between the greedy DQN schedules and:
+
+- **optimal**: the k-cheapest-minutes coordinated schedule.  For an
+  interruptible must-run-k-minutes task this is a *mathematical* lower
+  bound on any feasible schedule, so ``baseline <= dqn`` is asserted
+  unconditionally — a violation means the accounting broke, not that
+  the learner got lucky.
+- **naive**: run the chore the moment its window opens (no EMS).
+
+The run is asserted deterministic (two fresh fleets produce identical
+summaries) before any point is recorded.  ``--smoke`` shrinks the
+workload to CI scale (seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import ScenarioConfig  # noqa: E402
+from repro.experiments.profiles import small_profile  # noqa: E402
+from repro.experiments.scenarios import REGIMES  # noqa: E402
+from repro.scenario import ScenarioRunner  # noqa: E402
+
+
+def regime_point(profile, pricing: str, seed: int, episodes: int) -> dict:
+    """Train + evaluate one tariff regime; assert the baseline floor."""
+    config = profile.pfdrl_config(
+        scenario=ScenarioConfig(
+            pricing=pricing,
+            schedulable_devices=("dishwasher", "washer", "ev_charger"),
+            episodes_per_task=episodes,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+    t0 = time.perf_counter()
+    summary = ScenarioRunner(config).run()
+    elapsed = time.perf_counter() - t0
+    again = ScenarioRunner(config).run()
+    assert summary == again, f"{pricing}: scenario run is not deterministic"
+    assert summary["baseline_cost"] <= summary["dqn_cost"] + 1e-12, (
+        f"{pricing}: optimal baseline above the DQN cost "
+        f"({summary['baseline_cost']} > {summary['dqn_cost']})"
+    )
+    summary["train_seconds"] = elapsed
+    return summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--residences", type=int, default=6)
+    parser.add_argument("--days", type=int, default=6)
+    parser.add_argument("--minutes-per-day", type=int, default=240)
+    parser.add_argument("--episodes", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: tiny fleet, seconds not minutes")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report to PATH")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.residences, args.days, args.episodes = 3, 4, 1
+
+    profile = small_profile(args.seed).with_data(
+        n_residences=args.residences,
+        n_days=args.days,
+        minutes_per_day=args.minutes_per_day,
+    )
+
+    points = {}
+    for pricing in REGIMES:
+        points[pricing] = regime_point(
+            profile, pricing, args.seed, args.episodes
+        )
+        print(
+            f"{pricing:9s} dqn=${points[pricing]['dqn_cost']:.4f} "
+            f"optimal=${points[pricing]['baseline_cost']:.4f} "
+            f"naive=${points[pricing]['naive_cost']:.4f} "
+            f"gap={points[pricing]['dqn_vs_baseline_gap']:+.3f}"
+        )
+
+    report = {
+        "bench": "scenarios",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": bool(args.smoke),
+        "residences": args.residences,
+        "days": args.days,
+        "episodes_per_task": args.episodes,
+        "seed": args.seed,
+        "deterministic": True,
+        "regimes": points,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    print("bench_scenarios ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,9 @@ Shows the extension points a downstream user needs: a new
 :class:`repro.data.devices.DeviceSpec` in the catalog, a workload built
 around it, and the standard pipeline run unchanged on top.
 
+(The catalog already ships an ``ev_charger`` — a *schedulable* spec used
+by the scenario pack — so this example registers a pool pump instead.)
+
 Run:  python examples/custom_device.py
 """
 
@@ -20,24 +23,24 @@ from repro.core import PFDRLSystem
 from repro.data.devices import DEVICE_CATALOG, DeviceSpec
 
 
-def register_ev_charger() -> None:
-    """A level-1 EV charger: 1.4 kW charging, 25 W idle electronics."""
-    if "ev_charger" in DEVICE_CATALOG:
+def register_pool_pump() -> None:
+    """A single-speed pool pump: 1.1 kW running, 15 W idle controller."""
+    if "pool_pump" in DEVICE_CATALOG:
         return
-    DEVICE_CATALOG["ev_charger"] = DeviceSpec(
-        name="ev_charger",
-        on_kw=1.4,
-        standby_kw=0.025,
-        usage_peaks=(22.5,),      # overnight charging, plugged in ~22:30
-        usage_widths=(2.0,),
+    DEVICE_CATALOG["pool_pump"] = DeviceSpec(
+        name="pool_pump",
+        on_kw=1.1,
+        standby_kw=0.015,
+        usage_peaks=(10.0,),      # midday filtration cycle
+        usage_widths=(3.0,),
         usage_scale=0.7,
         off_at_night_prob=0.0,
     )
 
 
 def main() -> None:
-    register_ev_charger()
-    spec = DEVICE_CATALOG["ev_charger"]
+    register_pool_pump()
+    spec = DEVICE_CATALOG["pool_pump"]
     print(f"registered {spec.name}: on={spec.on_kw} kW, standby={spec.standby_kw} kW")
 
     config = PFDRLConfig(
@@ -45,7 +48,7 @@ def main() -> None:
             n_residences=4,
             n_days=4,
             minutes_per_day=240,
-            device_types=("tv", "light", "ev_charger"),
+            device_types=("tv", "light", "pool_pump"),
             heterogeneity=0.5,
             seed=1,
         ),
@@ -61,7 +64,7 @@ def main() -> None:
 
     print(f"\nforecast accuracy       : {result.forecast_accuracy:.1%}")
     print(f"standby energy saved    : {result.ems.saved_standby_fraction:.1%}")
-    # The charger's idle electronics are the big win: 25 W x idle hours.
+    # The pump's idle controller is the big win: 15 W x idle hours.
     per_res = result.ems.saved_standby_kwh
     print(f"saved per residence     : {np.round(per_res, 3)} kWh")
 

@@ -84,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("full", "ring", "star"),
                        help="aggregator-tier topology (hierarchical mode; "
                             "default ring)")
+        # Grid-aware scenario pack (opt-in).  Leaving --scenario unset
+        # keeps scenario=None — the classic pipeline, and checkpoint
+        # digests identical to earlier builds.
+        p.add_argument("--scenario", default=None,
+                       choices=("tou", "realtime", "dr"),
+                       help="enable the grid-aware scenario pack "
+                            "(schedulable loads + DERs) under the given "
+                            "pricing regime (default: off)")
 
     p_tr = sub.add_parser(
         "train",
@@ -151,6 +159,7 @@ def pipeline_config(args: argparse.Namespace):
         ForecastConfig,
         HierarchyConfig,
         PFDRLConfig,
+        ScenarioConfig,
     )
 
     mpd = args.minutes_per_day
@@ -162,6 +171,9 @@ def pipeline_config(args: argparse.Namespace):
             participation=args.participation,
             seed=args.seed,
         )
+    scenario = None
+    if getattr(args, "scenario", None) is not None:
+        scenario = ScenarioConfig(pricing=args.scenario, seed=args.seed)
     return PFDRLConfig(
         data=DataConfig(
             n_residences=args.residences,
@@ -176,6 +188,7 @@ def pipeline_config(args: argparse.Namespace):
         dqn=DQNConfig(hidden_width=16, reward_scale=1.0 / 30.0),
         federation=FederationConfig(hierarchy=hierarchy),
         episodes=args.episodes,
+        scenario=scenario,
         seed=args.seed,
     )
 

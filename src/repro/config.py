@@ -31,6 +31,7 @@ __all__ = [
     "FederationConfig",
     "TraceConfig",
     "FaultConfig",
+    "ScenarioConfig",
     "PFDRLConfig",
     "ExperimentConfig",
     "config_to_dict",
@@ -446,6 +447,70 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class ScenarioConfig:
+    """Grid-aware scenario pack: schedulable loads, DERs, DR events.
+
+    Entirely opt-in: ``PFDRLConfig.scenario`` defaults to ``None`` and
+    every training, serving and checkpoint path is bit-identical to the
+    pre-scenario implementation in that case.  When set, it drives
+    :class:`repro.scenario.ScenarioRunner` (deferrable-load scheduling
+    agents, solar + battery netting, demand-response event pricing) and
+    the per-run scenario summary :class:`repro.core.system.PFDRLSystem`
+    attaches to its result.
+
+    - ``pricing`` selects the tariff regime of the run: ``"tou"``
+      (:class:`repro.data.pricing.VariableRatePlan`), ``"realtime"``
+      (:class:`repro.data.pricing.RealTimeRatePlan`) or ``"dr"``
+      (TOU base + seeded incentive events through
+      :class:`repro.data.pricing.DemandResponsePlan`).
+    - ``schedulable_devices`` name catalog entries with
+      ``schedulable=True`` specs; each (residence, device) gets its own
+      4-action deadline-scheduling DQN agent.
+    - Solar/battery fields parameterise the per-residence DER tier that
+      nets against the controlled load before pricing; ``solar_peak_kw=0``
+      and ``battery_kwh=0`` disable the respective component.
+    - DR fields parameterise the seeded grid-event generator
+      (:func:`repro.scenario.dr.generate_dr_events`).
+    """
+
+    pricing: str = "tou"  # tou | realtime | dr
+    schedulable_devices: tuple[str, ...] = ("dishwasher", "washer", "ev_charger")
+    #: EMS training episodes per task window.
+    episodes_per_task: int = 2
+    #: Penalty added to the reward when the deadline forces a run.
+    deadline_penalty: float = 1.0
+    # -- DER tier ------------------------------------------------------
+    solar_peak_kw: float = 3.0
+    battery_kwh: float = 6.0
+    battery_max_kw: float = 2.5
+    #: Round-trip efficiency (split evenly between charge and discharge).
+    battery_efficiency: float = 0.9
+    # -- demand-response events ---------------------------------------
+    dr_event_rate: float = 0.3
+    dr_incentive_per_kwh: float = 0.25
+    dr_duration_hours: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pricing not in ("tou", "realtime", "dr"):
+            raise ValueError("pricing must be one of tou|realtime|dr")
+        if len(self.schedulable_devices) == 0:
+            raise ValueError("need at least one schedulable device")
+        if self.episodes_per_task < 1:
+            raise ValueError("episodes_per_task must be >= 1")
+        if self.deadline_penalty < 0:
+            raise ValueError("deadline_penalty must be >= 0")
+        for name in ("solar_peak_kw", "battery_kwh", "battery_max_kw",
+                     "dr_incentive_per_kwh", "dr_duration_hours"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 < self.battery_efficiency <= 1.0:
+            raise ValueError("battery_efficiency must be in (0, 1]")
+        if not 0.0 <= self.dr_event_rate <= 1.0:
+            raise ValueError("dr_event_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
 class PFDRLConfig:
     """Top-level configuration bundling all subsystems."""
 
@@ -463,6 +528,9 @@ class PFDRLConfig:
     #: Process-parallel residence sharding for EMS training segments
     #: (> 1 enables it; exact in both agent scopes).
     ems_workers: int = 1
+    #: Grid-aware scenario pack (schedulable loads, DERs, DR events).
+    #: ``None`` keeps every path bit-identical to the classic pipeline.
+    scenario: ScenarioConfig | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.forecast import Forecaster, augment_time_features, normalize_power
 from repro.rl.dqn import DQNAgent
+from repro.rl.env import apply_actions
 from repro.rl.qnet import build_state
 
 __all__ = [
@@ -104,6 +105,13 @@ class OnlineController:
         Calendar length for the time features.
     t0:
         Absolute minute-of-deployment start (calendar phase).
+    der:
+        Optional DER meter (duck-typed; see
+        :class:`repro.scenario.der.DERMeter`): after each minute's
+        actions, the household's total controlled draw is netted through
+        ``der.net(load_kw)`` — solar and battery between the home and
+        the meter.  ``None`` (default) leaves the classic path
+        untouched.
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class OnlineController:
         nominals: dict[str, DeviceNominals],
         minutes_per_day: int = 1440,
         t0: int = 0,
+        der=None,
     ) -> None:
         if set(forecasters) != set(nominals):
             raise ValueError("forecasters and nominals must cover the same devices")
@@ -123,6 +132,10 @@ class OnlineController:
         self.nominals = nominals
         self.minutes_per_day = int(minutes_per_day)
         self.t0 = int(t0)
+        self.der = der
+        #: Cumulative metered grid energy (kWh) — equals the controlled
+        #: energy when no DER meter is attached.
+        self.grid_kwh = 0.0
         self.stats = ControllerStats()
         self.stats.saved_kwh = {d: 0.0 for d in forecasters}
 
@@ -168,6 +181,7 @@ class OnlineController:
         if set(readings) != set(self.forecasters):
             raise ValueError("readings must cover exactly the managed devices")
         actions: dict[str, int] = {}
+        load_kw = 0.0
         for device, value in readings.items():
             if value < 0:
                 raise ValueError(f"negative reading for {device!r}")
@@ -179,18 +193,20 @@ class OnlineController:
             actions[device] = action
             self.stats.actions[action] += 1
 
-            # Controlled draw under the chosen action (same semantics as
-            # the training environment).
-            if action == 0:
-                controlled = 0.0
-            elif action == 1:
-                controlled = min(value, nom.standby_kw * 1.1)
-            else:
-                controlled = value
+            # Controlled draw under the chosen action — the single
+            # shared action -> draw rule (same as training and serving).
+            controlled = float(
+                apply_actions(
+                    np.asarray([action]), np.asarray([value]), nom.standby_kw
+                )[0]
+            )
             self.stats.saved_kwh[device] += (value - controlled) / 60.0
+            load_kw += controlled
 
             self._history[device].append(value)
             self._forecast_pos[device] += 1
+        grid_kw = load_kw if self.der is None else self.der.net(load_kw)
+        self.grid_kwh += grid_kw / 60.0
         self.stats.minutes += 1
         return actions
 

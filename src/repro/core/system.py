@@ -80,6 +80,8 @@ class SystemResult:
     drl_history: list[PFDRLDayResult] = field(default_factory=list)
     n_train_days: int = 0
     n_test_days: int = 0
+    #: Scenario-pack savings summary (None unless ``config.scenario``).
+    scenario: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready view (numpy arrays become lists) — used by the CLI
@@ -88,7 +90,7 @@ class SystemResult:
             k: (v.tolist() if isinstance(v, np.ndarray) else v)
             for k, v in asdict(self.ems).items()
         }
-        return {
+        out = {
             "forecast_accuracy": self.forecast_accuracy,
             "ems": ems,
             "dfl_history": [asdict(r) for r in self.dfl_history],
@@ -96,6 +98,11 @@ class SystemResult:
             "n_train_days": self.n_train_days,
             "n_test_days": self.n_test_days,
         }
+        # Only present on scenario runs so the default-path JSON stays
+        # byte-identical to the pre-scenario exports.
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        return out
 
 
 class PFDRLSystem:
@@ -326,6 +333,13 @@ class PFDRLSystem:
             # mirror holds the final agent state either way.
             if self.drl is not None:
                 self.drl.close()
+        scenario = None
+        if self.config.scenario is not None:
+            # Lazy import: the scenario pack is opt-in and must not load
+            # (or cost anything) on the default path.
+            from repro.scenario import summarize_system_savings
+
+            scenario = summarize_system_savings(self.config, ems.saved_kw)
         return SystemResult(
             forecast_accuracy=accuracy,
             ems=ems,
@@ -333,6 +347,7 @@ class PFDRLSystem:
             drl_history=drl_history,
             n_train_days=self.n_train_days,
             n_test_days=self.n_test_days,
+            scenario=scenario,
         )
 
     # ------------------------------------------------------------------

@@ -47,6 +47,18 @@ class DeviceSpec:
     always_on:
         Device duty-cycles between on and standby continuously (fridge,
         HVAC compressor) rather than following human schedules.
+    schedulable:
+        The device runs as a deferrable *task*: it must accumulate
+        ``run_minutes`` of on-time somewhere inside its daily ``window``
+        (dishwasher, washing machine, EV charger).  Schedulable semantics
+        are opt-in — the ordinary trace generator and the 3-action MDP
+        ignore these fields entirely, so enabling nothing changes nothing.
+    run_minutes:
+        Nominal on-minutes one run needs at full 1440-minute-day scale
+        (the scenario generator rescales for compressed days).
+    window:
+        ``(start_hour, end_hour)`` daily availability window (0-24,
+        within one day) inside which the run must complete.
     """
 
     name: str
@@ -57,6 +69,9 @@ class DeviceSpec:
     usage_scale: float
     off_at_night_prob: float = 0.1
     always_on: bool = False
+    schedulable: bool = False
+    run_minutes: int = 0
+    window: tuple[float, float] = (0.0, 24.0)
 
     def __post_init__(self) -> None:
         if self.on_kw <= 0:
@@ -69,6 +84,16 @@ class DeviceSpec:
             raise ValueError(f"{self.name}: peaks/widths length mismatch")
         if not 0.0 <= self.usage_scale <= 1.0:
             raise ValueError(f"{self.name}: usage_scale must be in [0, 1]")
+        start, end = self.window
+        if not 0.0 <= start < end <= 24.0:
+            raise ValueError(f"{self.name}: window must satisfy 0 <= start < end <= 24")
+        if self.schedulable:
+            if self.run_minutes < 1:
+                raise ValueError(f"{self.name}: schedulable devices need run_minutes >= 1")
+            if self.run_minutes > (end - start) * 60.0:
+                raise ValueError(f"{self.name}: run_minutes cannot exceed the window")
+        elif self.run_minutes != 0:
+            raise ValueError(f"{self.name}: run_minutes requires schedulable=True")
 
     def mode_power_kw(self, mode: int) -> float:
         """Nominal power for a mode code (0=off, 1=standby, 2=on)."""
@@ -140,6 +165,7 @@ DEVICE_CATALOG: dict[str, DeviceSpec] = {
         name="washer", on_kw=0.500, standby_kw=0.002,
         usage_peaks=(10.0, 19.0), usage_widths=(1.5, 1.5), usage_scale=0.15,
         off_at_night_prob=0.2,
+        schedulable=True, run_minutes=75, window=(8.0, 22.0),
     ),
     "computer": DeviceSpec(
         name="computer", on_kw=0.200, standby_kw=0.050,
@@ -160,6 +186,18 @@ DEVICE_CATALOG: dict[str, DeviceSpec] = {
         name="dishwasher", on_kw=1.200, standby_kw=0.004,
         usage_peaks=(20.0,), usage_widths=(1.2,), usage_scale=0.2,
         off_at_night_prob=0.1,
+        schedulable=True, run_minutes=90, window=(17.0, 24.0),
+    ),
+    # Level-2 EV charger: the archetypal deferrable load.  Listed after
+    # the original nine types on purpose — the state one-hot vocabulary
+    # (repro.rl.qnet.DEVICE_VOCAB) is frozen to those nine for
+    # checkpoint compatibility, so new catalog entries never change
+    # STATE_DIM or any existing Q-network's input layer.
+    "ev_charger": DeviceSpec(
+        name="ev_charger", on_kw=7.200, standby_kw=0.010,
+        usage_peaks=(2.0,), usage_widths=(2.5,), usage_scale=0.35,
+        off_at_night_prob=0.0,
+        schedulable=True, run_minutes=240, window=(0.0, 8.0),
     ),
 }
 

@@ -45,7 +45,13 @@ from repro.data.devices import (
 from repro.data.residence import ResidenceProfile, make_profiles
 from repro.rng import hash_seed
 
-__all__ = ["TraceGenerator", "generate_neighborhood", "seasonal_factor"]
+__all__ = [
+    "TraceGenerator",
+    "generate_neighborhood",
+    "generate_schedule_requests",
+    "ScheduleRequest",
+    "seasonal_factor",
+]
 
 #: Relative half-width of the power band around nominal mode power.  Kept
 #: strictly inside the paper's ±10% classification window.
@@ -66,6 +72,35 @@ def seasonal_factor(day_index: np.ndarray | float, device: str) -> np.ndarray | 
     if np.isscalar(day_index):
         return float(out)
     return out
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One deferrable task: run *run_minutes* inside a daily window.
+
+    Produced by :meth:`TraceGenerator.generate_schedule_requests` for
+    schedulable :class:`~repro.data.devices.DeviceSpec` entries and
+    consumed by the scenario pack (:mod:`repro.scenario`), which turns
+    each request into one :class:`repro.rl.env.ScheduleEnv` episode.
+    Minutes are within-day indices at the config's compressed-day scale.
+    """
+
+    residence_id: int
+    device: str
+    day: int
+    start_min: int
+    end_min: int
+    run_minutes: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_min < self.end_min:
+            raise ValueError("need 0 <= start_min < end_min")
+        if not 1 <= self.run_minutes <= self.end_min - self.start_min:
+            raise ValueError("run_minutes must fit the window")
+
+    @property
+    def window_minutes(self) -> int:
+        return self.end_min - self.start_min
 
 
 @dataclass
@@ -225,6 +260,67 @@ class TraceGenerator:
         modes = np.where(on, MODE_ON, MODE_STANDBY).astype(np.int8)
         return modes
 
+    def generate_schedule_requests(
+        self, profile: ResidenceProfile, device: str
+    ) -> list[ScheduleRequest]:
+        """Per-day deferrable-task requests for one schedulable device.
+
+        The stream is addressed by ``(seed, "sched", residence, device)``
+        so requests are stable under changes to the rest of the scenario
+        mix, mirroring :meth:`generate_device_trace`.  Windows follow the
+        spec's nominal window shifted by the household's schedule offset
+        (damped, then clamped into the day); run lengths follow
+        ``spec.run_minutes`` rescaled to the compressed day with a
+        lognormal jitter.  Days where the household skips the chore
+        produce no request (same skip model as usage events).
+        """
+        cfg = self.config
+        spec = get_device_spec(device)
+        if not spec.schedulable:
+            raise ValueError(f"{device!r} is not a schedulable device type")
+        rng = np.random.default_rng(
+            hash_seed(cfg.seed, "sched", profile.residence_id, device)
+        )
+        mpd = cfg.minutes_per_day
+        mph = mpd / 24.0
+        day_scale = mpd / 1440.0
+        out: list[ScheduleRequest] = []
+        for day in range(cfg.n_days):
+            season = float(seasonal_factor(cfg.start_day + day, device))
+            p_run = float(
+                np.clip(
+                    0.5 + 0.5 * spec.usage_scale * profile.usage_intensity * season,
+                    0.05,
+                    0.98,
+                )
+            )
+            if rng.random() >= p_run:
+                continue  # the household skips this chore today
+            w0, w1 = spec.window
+            shift = 0.5 * profile.schedule_shift_hours + rng.normal(
+                0.0, self.event_jitter_hours
+            )
+            start_h = float(np.clip(w0 + shift, 0.0, 23.0))
+            end_h = float(np.clip(w1 + shift, start_h + 0.5, 24.0))
+            start = int(np.floor(start_h * mph))
+            end = int(np.ceil(end_h * mph))
+            end = min(max(end, start + 2), mpd)
+            need = int(
+                round(spec.run_minutes * day_scale * float(rng.lognormal(0.0, 0.2)))
+            )
+            need = int(np.clip(need, 1, end - start))
+            out.append(
+                ScheduleRequest(
+                    residence_id=profile.residence_id,
+                    device=device,
+                    day=day,
+                    start_min=start,
+                    end_min=end,
+                    run_minutes=need,
+                )
+            )
+        return out
+
     def _modes_to_power(
         self,
         rng: np.random.Generator,
@@ -265,3 +361,24 @@ def generate_neighborhood(config: DataConfig | None = None, **overrides) -> Neig
 
         config = dataclasses.replace(config, **overrides)
     return TraceGenerator(config).generate()
+
+
+def generate_schedule_requests(
+    config: DataConfig, devices: tuple[str, ...]
+) -> list[ScheduleRequest]:
+    """All deferrable-task requests for a neighbourhood's scenario mix.
+
+    Profiles for the scenario devices are drawn with the same
+    heterogeneity/seed addressing as the main workload (per-residence
+    streams keyed by ``(seed, "profile", rid)``), so per-home power
+    scaling and schedule shifts carry over to the schedulable tier.
+    """
+    profiles = make_profiles(
+        config.n_residences, tuple(devices), config.heterogeneity, config.seed
+    )
+    gen = TraceGenerator(config)
+    out: list[ScheduleRequest] = []
+    for profile in profiles:
+        for device in devices:
+            out.extend(gen.generate_schedule_requests(profile, device))
+    return out

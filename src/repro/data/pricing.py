@@ -9,6 +9,16 @@ Two plans, both in **dollars per kWh**:
   late-afternoon peak, which is what we model.  A seasonal multiplier makes
   summer afternoons (peak A/C) the most expensive, producing the
   month-dependent fixed-vs-variable crossover of Fig. 10.
+
+Two further plans back the grid-aware scenario pack (``repro.scenario``):
+
+- :class:`RealTimeRatePlan` — a deterministic wholesale-style hourly
+  price (diurnal double hump x seasonal scarcity x a day-varying
+  wobble), the "real-time pricing" regime of the scenario sweep.
+- :class:`DemandResponsePlan` — any base plan plus seeded grid-event
+  windows during which an incentive $/kWh is layered on top, so energy
+  avoided inside an event is worth base + incentive through the
+  ordinary :mod:`repro.metrics.monetary` path.
 """
 
 from __future__ import annotations
@@ -22,6 +32,8 @@ __all__ = [
     "PricePlan",
     "FixedRatePlan",
     "VariableRatePlan",
+    "RealTimeRatePlan",
+    "DemandResponsePlan",
     "default_fixed_plan",
     "default_variable_plan",
 ]
@@ -101,8 +113,110 @@ class VariableRatePlan:
         season = 1.0 + self.seasonal_amplitude * np.cos(
             2.0 * np.pi * (day - self.peak_day) / 365.0
         )
-        price[pk] = self.peak * season[pk]
+        # The seasonal trough can drag the scaled peak below the shoulder
+        # (0.172 x 0.65 < 0.112), inverting the tariff in winter; the peak
+        # tier never prices below the shoulder it sits on.
+        price[pk] = np.maximum(self.peak * season[pk], self.shoulder)
         return price
+
+    def cost(self, energy_kwh, hour_of_day, day_of_year) -> float:
+        energy_kwh = np.asarray(energy_kwh, dtype=float)
+        return float((energy_kwh * self.price_per_kwh(hour_of_day, day_of_year)).sum())
+
+
+@dataclass(frozen=True)
+class RealTimeRatePlan:
+    """Deterministic wholesale-style hourly price.
+
+    A closed-form stand-in for an ERCOT-like real-time signal: a diurnal
+    double hump (morning and late-afternoon ramps), a seasonal scarcity
+    multiplier peaking in the Texas summer, and a slow day-to-day wobble
+    so no two days price identically.  Being a pure function of
+    ``(hour, day)`` it is trivially reproducible and checkpoint-safe —
+    no RNG state rides the plan.
+    """
+
+    base: float = 0.110
+    #: Diurnal swing as a fraction of ``base`` (double-hump shape).
+    diurnal_amplitude: float = 0.45
+    #: Seasonal scarcity swing (same phase as the TOU plan's peak_day).
+    seasonal_amplitude: float = 0.30
+    peak_day: float = 200.0
+    #: Day-to-day wobble fraction (incommensurate period, so the wobble
+    #: never repeats on a calendar boundary).
+    wobble_amplitude: float = 0.10
+    #: Prices never clear below this floor ($/kWh).
+    floor: float = 0.015
+    name: str = "realtime"
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("base must be > 0")
+        for f in ("diurnal_amplitude", "seasonal_amplitude", "wobble_amplitude"):
+            if not 0.0 <= getattr(self, f) < 1.0:
+                raise ValueError(f"{f} must be in [0, 1)")
+        if not 0.0 < self.floor < self.base:
+            raise ValueError("need 0 < floor < base")
+
+    def price_per_kwh(self, hour_of_day, day_of_year) -> np.ndarray:
+        hour, day = np.broadcast_arrays(
+            np.asarray(hour_of_day, dtype=float), np.asarray(day_of_year, dtype=float)
+        )
+        # Morning (~8h) and late-afternoon (~17h) ramps, quiet overnight.
+        diurnal = 0.6 * np.exp(-0.5 * ((hour - 8.0) / 2.0) ** 2) + 1.0 * np.exp(
+            -0.5 * ((hour - 17.0) / 2.5) ** 2
+        )
+        season = 1.0 + self.seasonal_amplitude * np.cos(
+            2.0 * np.pi * (day - self.peak_day) / 365.0
+        )
+        wobble = 1.0 + self.wobble_amplitude * np.sin(2.0 * np.pi * day / 11.3)
+        price = self.base * (1.0 + self.diurnal_amplitude * diurnal) * season * wobble
+        return np.maximum(price, self.floor)
+
+    def cost(self, energy_kwh, hour_of_day, day_of_year) -> float:
+        energy_kwh = np.asarray(energy_kwh, dtype=float)
+        return float((energy_kwh * self.price_per_kwh(hour_of_day, day_of_year)).sum())
+
+
+@dataclass(frozen=True)
+class DemandResponsePlan:
+    """A base plan with incentive-priced demand-response event windows.
+
+    ``events`` is a tuple of ``(day_of_year, start_hour, end_hour,
+    incentive_per_kwh)`` rows (see :func:`repro.scenario.dr.
+    generate_dr_events` for the seeded generator).  Inside an active
+    window the effective price is ``base + incentive``: consuming there
+    costs more, and a kWh *avoided* there is worth the base rate plus
+    the utility's incentive payment — priced through the unchanged
+    :mod:`repro.metrics.monetary` path.
+    """
+
+    base: PricePlan = field(default_factory=lambda: VariableRatePlan())
+    events: tuple[tuple[float, float, float, float], ...] = ()
+    name: str = "dr"
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            day, start, end, incentive = ev
+            if not 0.0 <= start < end <= 24.0:
+                raise ValueError(f"event window must satisfy 0 <= start < end <= 24: {ev}")
+            if incentive < 0:
+                raise ValueError(f"incentive must be >= 0: {ev}")
+
+    def incentive_per_kwh(self, hour_of_day, day_of_year) -> np.ndarray:
+        """The incentive layer alone ($/kWh; 0 outside event windows)."""
+        hour, day = np.broadcast_arrays(
+            np.asarray(hour_of_day, dtype=float), np.asarray(day_of_year, dtype=float)
+        )
+        extra = np.zeros_like(hour, dtype=float)
+        for ev_day, start, end, incentive in self.events:
+            active = (np.floor(day) == np.floor(ev_day)) & (hour >= start) & (hour < end)
+            extra = np.where(active, extra + incentive, extra)
+        return extra
+
+    def price_per_kwh(self, hour_of_day, day_of_year) -> np.ndarray:
+        base = self.base.price_per_kwh(hour_of_day, day_of_year)
+        return base + self.incentive_per_kwh(hour_of_day, day_of_year)
 
     def cost(self, energy_kwh, hour_of_day, day_of_year) -> float:
         energy_kwh = np.asarray(energy_kwh, dtype=float)

@@ -25,6 +25,7 @@ Module               Paper artefact
 ``headline``         92% accuracy / 98% standby savings claims
 ``robustness``       beyond the paper — degradation under comm faults
 ``selfheal``         beyond the paper — self-healing vs replayed fault traces
+``scenarios``        beyond the paper — deferrable loads under 3 tariff regimes
 ``ablations``        extra design-choice studies (topology, DQN, features)
 ===================  =============================================
 """

@@ -29,6 +29,7 @@ from repro.experiments import (
     headline,
     robustness,
     scale,
+    scenarios,
     selfheal,
     table01_reward,
     table02_methods,
@@ -59,6 +60,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "headline": headline.run,
     "robustness": robustness.run,
     "scale": scale.run,
+    "scenarios": scenarios.run,
     "selfheal": selfheal.run,
     "ablation_topology": ablations.run_topology,
     "ablation_dqn": ablations.run_dqn,

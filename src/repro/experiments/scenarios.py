@@ -1,0 +1,216 @@
+"""Grid-aware scenario sweep — schedulable loads under three tariffs.
+
+Beyond the paper: the PFDRL EMS only sheds standby waste; a real
+residential EMS also *moves* load.  The scenario pack
+(:mod:`repro.scenario`) adds deadline-constrained deferrable tasks
+(dishwasher, washer, EV charger), a per-residence solar + battery tier,
+and seeded demand-response events, all opt-in behind
+``PFDRLConfig.scenario``.
+
+``run`` trains the 4-action scheduling fleet under each pricing regime
+— TOU, closed-form real-time, and TOU + DR events — and reports the
+greedy DQN schedule cost against the *optimal* coordinated baseline
+(k-cheapest-minutes, a true lower bound for interruptible tasks) and
+the naive run-at-window-open schedule.
+
+``main`` is the CI smoke entry point (``scenario-smoke`` job):
+
+1. regime sweep determinism: two fresh sweeps produce identical
+   summaries;
+2. checkpoint-resume bit-identity: a run interrupted mid-training and
+   resumed from its durable checkpoint matches the uninterrupted
+   reference exactly (evaluation summary and final agent weights);
+3. the baseline floor: ``baseline_cost <= dqn_cost`` in every regime
+   (the bound is mathematical — a violation means the accounting broke);
+4. pipeline integration: a scenario-enabled
+   :class:`~repro.core.system.PFDRLSystem` run attaches the scenario
+   savings summary while the default config's result dict stays free of
+   the key.
+
+Writes ``scenario_smoke.json`` (the DQN-vs-baseline gap report) for
+artifact upload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import ScenarioConfig
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.profiles import Profile, small_profile
+
+__all__ = ["run", "main", "REGIMES"]
+
+REGIMES = ("tou", "realtime", "dr")
+
+
+def _scenario_config(profile: Profile, pricing: str, seed: int) -> ScenarioConfig:
+    del profile  # scenario scale rides the data config, not the profile
+    return ScenarioConfig(
+        pricing=pricing,
+        schedulable_devices=("dishwasher", "washer", "ev_charger"),
+        episodes_per_task=2,
+        seed=seed,
+    )
+
+
+def run(profile: Profile | None = None, seed: int = 0) -> ExperimentResult:
+    """Schedule cost per tariff regime: DQN vs optimal vs naive.
+
+    Series (x = regime index, see ``notes["regimes"]``): ``dqn``,
+    ``optimal`` and ``naive`` eval-day schedule costs; notes carry the
+    per-regime DQN-vs-optimal gap and the DER energy accounting of the
+    last regime.
+    """
+    from repro.scenario import ScenarioRunner
+
+    profile = profile or small_profile(seed)
+    result = ExperimentResult(
+        name="scenarios",
+        description="Deferrable-load schedule cost under TOU / real-time / DR tariffs",
+        x_label="pricing regime",
+        y_label="eval schedule cost ($)",
+    )
+    xs = list(range(len(REGIMES)))
+    dqn, optimal, naive = [], [], []
+    summaries = {}
+    for pricing in REGIMES:
+        config = profile.pfdrl_config(
+            scenario=_scenario_config(profile, pricing, seed), seed=seed
+        )
+        summary = ScenarioRunner(config).run()
+        summaries[pricing] = summary
+        dqn.append(summary["dqn_cost"])
+        optimal.append(summary["baseline_cost"])
+        naive.append(summary["naive_cost"])
+    result.add_series("dqn", xs, dqn)
+    result.add_series("optimal", xs, optimal)
+    result.add_series("naive", xs, naive)
+    result.notes["regimes"] = ",".join(REGIMES)
+    for pricing in REGIMES:
+        result.notes[f"gap_{pricing}"] = summaries[pricing]["dqn_vs_baseline_gap"]
+        result.notes[f"forced_fraction_{pricing}"] = summaries[pricing][
+            "forced_fraction"
+        ]
+    result.notes["der_solar_used_kwh"] = summaries[REGIMES[-1]]["der"][
+        "solar_used_kwh"
+    ]
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI smoke: sweep determinism + resume bit-identity + baseline floor."""
+    import argparse
+    import json
+    import shutil
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core.system import PFDRLSystem
+    from repro.persist import CheckpointStore, TrainingInterrupted
+    from repro.scenario import ScenarioRunner
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--residences", type=int, default=3)
+    parser.add_argument("--days", type=int, default=4)
+    parser.add_argument("--minutes-per-day", type=int, default=240)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    profile = small_profile(args.seed).with_data(
+        n_residences=args.residences,
+        n_days=args.days,
+        minutes_per_day=args.minutes_per_day,
+    )
+
+    def scenario_cfg(pricing: str) -> ScenarioConfig:
+        return ScenarioConfig(
+            pricing=pricing,
+            schedulable_devices=("dishwasher", "washer"),
+            episodes_per_task=1,
+            seed=args.seed,
+        )
+
+    # 1+3. Regime sweep, twice: identical summaries, and the optimal
+    #      coordinated baseline never above the DQN schedule cost.
+    regimes = {}
+    for pricing in REGIMES:
+        config = profile.pfdrl_config(
+            scenario=scenario_cfg(pricing), seed=args.seed
+        )
+        first = ScenarioRunner(config).run()
+        again = ScenarioRunner(config).run()
+        assert first == again, f"{pricing}: scenario sweep is not deterministic"
+        assert first["baseline_cost"] <= first["dqn_cost"] + 1e-12, (
+            f"{pricing}: optimal baseline above the DQN schedule — "
+            "the bound is mathematical, the accounting broke"
+        )
+        regimes[pricing] = first
+
+    # 2. Crash/resume bit-identity on the DR regime: interrupt after the
+    #    first training day, resume from the durable checkpoint, and
+    #    require the evaluation summary and every agent weight to match
+    #    the uninterrupted reference exactly.
+    config = profile.pfdrl_config(scenario=scenario_cfg("dr"), seed=args.seed)
+    reference = ScenarioRunner(config)
+    ref_summary = reference.run()
+    ckpt_dir = out_dir / "scenario_ckpt"
+    shutil.rmtree(ckpt_dir, ignore_errors=True)
+    store = CheckpointStore(ckpt_dir)
+    interrupted_at = None
+    try:
+        ScenarioRunner(config).run(store=store, checkpoint_every=1, stop_after_day=1)
+        raise AssertionError("expected TrainingInterrupted after day 1")
+    except TrainingInterrupted as stop:
+        interrupted_at = stop.step
+    resumed_runner = ScenarioRunner(config)
+    resumed = resumed_runner.run(store=store, checkpoint_every=1, resume=True)
+    assert resumed == ref_summary, (
+        "resumed scenario run diverged from the uninterrupted reference"
+    )
+    for key, agent in reference.agents.items():
+        for ref_w, res_w in zip(
+            agent.get_weights(), resumed_runner.agents[key].get_weights()
+        ):
+            assert np.array_equal(ref_w, res_w), (
+                f"agent {key}: resumed weights are not bit-identical"
+            )
+
+    # 4. Pipeline integration: the scenario summary rides the
+    #    SystemResult only when the pack is enabled.
+    pipe_profile = profile.with_data(
+        n_residences=2, n_days=2, device_types=("tv", "light")
+    )
+    plain = PFDRLSystem(pipe_profile.pfdrl_config(seed=args.seed)).run().to_dict()
+    assert "scenario" not in plain, "default run must not carry a scenario summary"
+    enabled = (
+        PFDRLSystem(
+            pipe_profile.pfdrl_config(scenario=scenario_cfg("dr"), seed=args.seed)
+        )
+        .run()
+        .to_dict()
+    )
+    assert enabled["scenario"]["pricing"] == "dr"
+
+    journal = {
+        "residences": args.residences,
+        "days": args.days,
+        "interrupted_at_day": interrupted_at,
+        "sweep_deterministic": True,
+        "resume_bit_identical": True,
+        "system_summary": enabled["scenario"],
+        "regimes": regimes,
+    }
+    (out_dir / "scenario_smoke.json").write_text(json.dumps(journal, indent=2) + "\n")
+    print(json.dumps(journal, indent=2))
+    print("scenario smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,7 @@ __all__ = [
     "StackedLearner",
     "BatchedEpisodeEngine",
     "greedy_rollout",
+    "schedule_rollout",
     "train_residence_segment",
 ]
 
@@ -713,6 +714,34 @@ def greedy_rollout(qnet, dev_stream) -> tuple[np.ndarray, np.ndarray, np.ndarray
     controlled = apply_actions(actions, dev_stream.real_kw, dev_stream.standby_kw)
     rewards = reward_vector(dev_stream.mode, actions)
     return actions, controlled, rewards
+
+
+def schedule_rollout(qnet, envs) -> list[np.ndarray]:
+    """Greedy lockstep rollout over many schedulable-task episodes.
+
+    All *envs* (:class:`repro.rl.env.ScheduleEnv`) belong to *one*
+    agent, so each simulated minute does a single stacked forward over
+    the still-active episodes instead of one batch-of-1 forward per
+    episode.  Unlike :func:`greedy_rollout`, the scheduling states are
+    action-dependent (remaining runtime, deadline slack), so the
+    rollout steps minute-major through the envs — which also lets each
+    env enforce its forced-run deadline override.
+
+    Returns each episode's per-minute controlled-power trace (NaN-free).
+    """
+    states = [env.reset() for env in envs]
+    active = [i for i, env in enumerate(envs) if env.horizon > 0]
+    while active:
+        q = qnet.forward(np.stack([states[i] for i in active]))
+        actions = q.argmax(axis=1)
+        still = []
+        for i, action in zip(active, actions):
+            step = envs[i].step(int(action))
+            states[i] = step.state
+            if not step.done:
+                still.append(i)
+        active = still
+    return [np.nan_to_num(env.controlled_kw) for env in envs]
 
 
 def train_residence_segment(

@@ -33,13 +33,19 @@ class DQNAgent:
     """Deep Q-Network agent over :class:`repro.rl.env.DeviceEnv` states."""
 
     def __init__(
-        self, config: DQNConfig | None = None, seed: int | np.random.Generator | None = 0
+        self,
+        config: DQNConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+        state_dim: int | None = None,
     ) -> None:
         self.config = config or DQNConfig()
         gen = as_generator(seed)
         r_net, r_replay, r_policy = spawn(gen, 3)
 
-        self.qnet = make_qnet(self.config, rng=r_net)
+        # state_dim=None is the classic STATE_DIM network (bit-identical
+        # construction); the scenario pack's schedulable agents pass
+        # SCHED_STATE_DIM for their widened input layer.
+        self.qnet = make_qnet(self.config, rng=r_net, state_dim=state_dim)
         # The target net starts as an exact copy of the online net; a
         # second make_qnet() would burn random init draws from r_net only
         # to overwrite them, shifting the stream for no reason.

@@ -21,11 +21,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.devices import MODE_OFF, MODE_ON
 from repro.rl.modes import classify_modes
-from repro.rl.qnet import STATE_DIM, build_states
+from repro.rl.qnet import SCHED_STATE_DIM, STATE_DIM, build_states
 from repro.rl.reward import reward_vector
 
-__all__ = ["DeviceEnv", "EnvStep", "apply_actions"]
+__all__ = ["DeviceEnv", "EnvStep", "ScheduleEnv", "ACTION_SHIFT", "apply_actions"]
+
+#: Fourth action of the schedulable-load MDP: defer the pending task to
+#: a later minute.  Non-schedulable devices keep the 3-action space.
+ACTION_SHIFT = 3
 
 
 def apply_actions(
@@ -138,13 +143,11 @@ class DeviceEnv:
         gt = int(self.ground_truth_mode[t])
         r = float(reward_vector(np.asarray([gt]), np.asarray([action]))[0])
 
-        real = self.real_kw[t]
-        if action == 0:
-            controlled = 0.0
-        elif action == 1:
-            controlled = min(real, self.standby_kw * 1.1)
-        else:
-            controlled = real
+        controlled = float(
+            apply_actions(
+                np.asarray([action]), self.real_kw[t : t + 1], self.standby_kw
+            )[0]
+        )
         self.controlled_kw[t] = controlled
 
         self._t += 1
@@ -171,3 +174,169 @@ class DeviceEnv:
     def max_episode_reward(self) -> float:
         """Reward of the optimal policy over the whole episode."""
         return float(reward_vector(self.ground_truth_mode, self.optimal_actions()).sum())
+
+
+class ScheduleEnv:
+    """Deadline-scheduling MDP for one schedulable task (scenario pack).
+
+    One episode is one availability window of a deferrable load
+    (dishwasher cycle, EV charge): the task must accumulate
+    ``run_minutes`` of on-time before the window closes.  Each minute the
+    agent picks one of **four** actions — the classic off/standby/on plus
+    :data:`ACTION_SHIFT` (defer the pending run to a later minute).  The
+    environment enforces the constraint: once the slack (minutes left
+    minus minutes still needed) hits zero, the run is *forced* regardless
+    of the chosen action, with a deadline penalty — so every episode
+    satisfies the must-run-k-minutes contract by construction.
+
+    State: the classic :func:`build_states` features (predicted channel =
+    the draw a run-minute would add, real channel = the household context,
+    e.g. available solar) plus ``N_SCHED_FEATURES`` appended columns::
+
+        [relative price, remaining/run_minutes, slack/window]
+
+    Reward (per minute, dimensionless):
+
+    - run (chosen or forced): the price advantage of running *now* vs the
+      window mean, ``(mean - p_t)/mean`` — positive in the cheap minutes;
+      a forced run additionally pays ``deadline_penalty``;
+    - shift with work pending: 0 (the legitimate defer);
+    - off with work pending: a small nudge toward the explicit shift;
+    - standby: pays its (relative) vampire cost;
+    - any action after completion: off is free, on re-runs at cost.
+    """
+
+    def __init__(
+        self,
+        price: np.ndarray,
+        on_kw: float,
+        standby_kw: float,
+        run_minutes: int,
+        context_kw: np.ndarray | None = None,
+        device: str | None = None,
+        deadline_penalty: float = 1.0,
+    ) -> None:
+        self.price = np.asarray(price, dtype=np.float64)
+        if self.price.ndim != 1 or self.price.shape[0] < 1:
+            raise ValueError("price must be a non-empty 1-D window")
+        if np.any(self.price <= 0):
+            raise ValueError("prices must be > 0")
+        self.on_kw = float(on_kw)
+        self.standby_kw = float(standby_kw)
+        if self.on_kw <= 0 or self.standby_kw < 0:
+            raise ValueError("need on_kw > 0 and standby_kw >= 0")
+        self.run_minutes = int(run_minutes)
+        if not 1 <= self.run_minutes <= self.horizon:
+            raise ValueError("run_minutes must be in [1, window length]")
+        if context_kw is None:
+            context_kw = np.zeros_like(self.price)
+        self.context_kw = np.asarray(context_kw, dtype=np.float64)
+        if self.context_kw.shape != self.price.shape:
+            raise ValueError("context_kw must align with the price window")
+        self.device = device
+        self.deadline_penalty = float(deadline_penalty)
+
+        self._mean_price = float(self.price.mean())
+        # Static feature block; the dynamic schedulable columns are
+        # appended per step (they depend on the action history).
+        self._base = build_states(
+            np.full(self.horizon, self.on_kw),
+            self.context_kw,
+            self.on_kw,
+            self.standby_kw,
+            device,
+        )
+        self._rel_price = self.price / self._mean_price - 1.0
+        self._t = 0
+        self.remaining = self.run_minutes
+        self.controlled_kw = np.full(self.horizon, np.nan)
+        self.forced_runs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        return int(self.price.shape[0])
+
+    @property
+    def state_dim(self) -> int:
+        return SCHED_STATE_DIM
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def _state(self, t: int) -> np.ndarray:
+        if t >= self.horizon:
+            return np.zeros(SCHED_STATE_DIM)
+        extra = np.asarray(
+            [
+                self._rel_price[t],
+                self.remaining / self.run_minutes,
+                self.slack(t) / self.horizon,
+            ]
+        )
+        return np.concatenate([self._base[t], extra])
+
+    def slack(self, t: int | None = None) -> int:
+        """Deferrable minutes left: window minutes remaining minus need."""
+        t = self._t if t is None else t
+        return (self.horizon - t) - self.remaining
+
+    def reset(self) -> np.ndarray:
+        self._t = 0
+        self.remaining = self.run_minutes
+        self.controlled_kw = np.full(self.horizon, np.nan)
+        self.forced_runs = 0
+        return self._state(0)
+
+    def step(self, action: int) -> EnvStep:
+        """Apply *action* at the current minute and advance."""
+        if not 0 <= action <= ACTION_SHIFT:
+            raise ValueError(f"action must be 0..{ACTION_SHIFT}, got {action}")
+        if self._t >= self.horizon:
+            raise RuntimeError("episode finished; call reset()")
+        t = self._t
+        pending = self.remaining > 0
+        forced = pending and self.slack(t) <= 0
+        rel = float(self._rel_price[t])
+
+        if forced or (action == 2 and pending):
+            controlled = self.on_kw
+            self.remaining -= 1
+            reward = -rel  # price advantage of running now vs the mean
+            if forced and action != 2:
+                reward -= self.deadline_penalty
+                self.forced_runs += 1
+        elif action == 2:  # re-running a finished task just burns money
+            controlled = self.on_kw
+            reward = -(1.0 + rel)
+        elif action == 1:
+            controlled = self.standby_kw
+            reward = -(1.0 + rel) * (self.standby_kw / self.on_kw)
+        elif action == 0:
+            controlled = 0.0
+            reward = -0.02 if pending else 0.0  # prefer the explicit shift
+        else:  # ACTION_SHIFT
+            controlled = 0.0
+            reward = 0.0 if pending else -0.02
+        self.controlled_kw[t] = controlled
+
+        self._t += 1
+        done = self._t >= self.horizon
+        return EnvStep(
+            state=self._state(self._t),
+            reward=reward,
+            done=done,
+            ground_truth_mode=MODE_ON if forced else MODE_OFF,
+            controlled_kw=controlled,
+        )
+
+    # ------------------------------------------------------------------
+    def cost(self) -> float:
+        """$ actually paid for the episode's controlled trace so far."""
+        mask = ~np.isnan(self.controlled_kw)
+        return float((self.controlled_kw[mask] * self.price[mask]).sum() / 60.0)
+
+    def run_mask(self) -> np.ndarray:
+        """Boolean per-minute mask of the minutes the task ran."""
+        return np.nan_to_num(self.controlled_kw) >= self.on_kw * 0.999

@@ -35,11 +35,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import DQNConfig
-from repro.data.devices import DEVICE_CATALOG
 from repro.nn import MLP
 
 __all__ = [
     "STATE_DIM",
+    "SCHED_STATE_DIM",
+    "N_SCHED_FEATURES",
     "REF_KW",
     "DEVICE_VOCAB",
     "device_index",
@@ -48,10 +49,24 @@ __all__ = [
     "make_qnet",
 ]
 
-#: Fixed device vocabulary (catalog order) used for the state one-hot.
-DEVICE_VOCAB: tuple[str, ...] = tuple(DEVICE_CATALOG)
+#: Fixed device vocabulary used for the state one-hot.  FROZEN to the
+#: original nine catalog entries: every trained checkpoint's input layer
+#: is shaped by ``STATE_DIM``, so growing the catalog (e.g. the
+#: schedulable ``ev_charger``) must never widen this block.  Devices
+#: outside the vocabulary read as the all-zero one-hot, exactly like any
+#: user-registered custom type.
+DEVICE_VOCAB: tuple[str, ...] = (
+    "tv", "hvac", "light", "fridge", "microwave",
+    "washer", "computer", "desktop", "dishwasher",
+)
 
 STATE_DIM = 2 + len(DEVICE_VOCAB)
+
+#: Extra state features of the schedulable-load MDP (appended after the
+#: one-hot block): relative price, remaining-runtime fraction, deadline
+#: slack fraction.  See :class:`repro.rl.env.ScheduleEnv`.
+N_SCHED_FEATURES = 3
+SCHED_STATE_DIM = STATE_DIM + N_SCHED_FEATURES
 
 #: Global reference level: 10 W.  Standby draws (a few W to tens of W)
 #: land in the responsive part of log1p; multi-kW loads compress.
@@ -77,6 +92,7 @@ def build_states(
     on_kw: float | None = None,
     standby_kw: float | None = None,
     device: str | None = None,
+    extra: np.ndarray | None = None,
 ) -> np.ndarray:
     """Vectorised state featurisation: ``(n,) x2 -> (n, STATE_DIM)``.
 
@@ -84,6 +100,12 @@ def build_states(
     unused — the whole point is that the agent must *learn* its own
     devices' levels from the shared watt scale.  ``device`` fills the
     one-hot block (all zeros for an unknown type).
+
+    ``extra`` (opt-in, scenario pack) appends feature columns after the
+    one-hot block — the schedulable-load MDP passes its
+    ``(n, N_SCHED_FEATURES)`` price/remaining-runtime/deadline-slack
+    matrix here, giving ``(n, SCHED_STATE_DIM)`` states.  ``None``
+    (default) returns the classic ``(n, STATE_DIM)`` matrix unchanged.
     """
     predicted_kw = np.asarray(predicted_kw, dtype=np.float64)
     real_kw = np.asarray(real_kw, dtype=np.float64)
@@ -92,12 +114,20 @@ def build_states(
     if on_kw is not None and on_kw <= 0:
         raise ValueError("on_kw must be > 0")
     n = predicted_kw.shape[0]
-    out = np.zeros((n, STATE_DIM))
+    n_extra = 0
+    if extra is not None:
+        extra = np.asarray(extra, dtype=np.float64)
+        if extra.ndim != 2 or extra.shape[0] != n:
+            raise ValueError("extra must be (n, k) aligned with the series")
+        n_extra = extra.shape[1]
+    out = np.zeros((n, STATE_DIM + n_extra))
     out[:, 0] = np.log1p(np.clip(predicted_kw, 0.0, None) / REF_KW) / STATE_SCALE
     out[:, 1] = np.log1p(np.clip(real_kw, 0.0, None) / REF_KW) / STATE_SCALE
     idx = device_index(device)
     if idx is not None:
         out[:, 2 + idx] = 1.0
+    if n_extra:
+        out[:, STATE_DIM:] = extra
     return out
 
 
@@ -114,10 +144,19 @@ def build_state(
     )[0]
 
 
-def make_qnet(config: DQNConfig, rng: int | np.random.Generator | None = 0) -> MLP:
-    """Build the paper's 8x100 ReLU Q-network."""
+def make_qnet(
+    config: DQNConfig,
+    rng: int | np.random.Generator | None = 0,
+    state_dim: int | None = None,
+) -> MLP:
+    """Build the paper's 8x100 ReLU Q-network.
+
+    ``state_dim`` widens the input layer for extended MDPs (the
+    schedulable-load agents use ``SCHED_STATE_DIM``); the default
+    ``None`` keeps the classic ``STATE_DIM`` input bit-identically.
+    """
     return MLP(
-        STATE_DIM,
+        STATE_DIM if state_dim is None else int(state_dim),
         [config.hidden_width] * config.n_hidden_layers,
         config.n_actions,
         activation="relu",

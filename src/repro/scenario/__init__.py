@@ -1,0 +1,41 @@
+"""Grid-aware scenario pack: schedulable loads, DERs, DR events.
+
+Opt-in extension tier over the core PFDRL pipeline (enabled by setting
+``PFDRLConfig.scenario``): deadline-constrained deferrable loads driven
+by 4-action scheduling DQNs, per-residence solar + battery netting, and
+seeded demand-response event pricing — with a provably-optimal
+coordinated baseline bounding the learned schedules.
+"""
+
+from repro.scenario.baseline import cheapest_minutes, first_minutes, schedule_cost
+from repro.scenario.der import (
+    Battery,
+    DERDispatch,
+    DERMeter,
+    dispatch_der,
+    solar_trace,
+)
+from repro.scenario.dr import (
+    DREvent,
+    generate_dr_events,
+    plan_events,
+    scenario_price_plan,
+)
+from repro.scenario.runner import ScenarioRunner, summarize_system_savings
+
+__all__ = [
+    "Battery",
+    "DERDispatch",
+    "DERMeter",
+    "DREvent",
+    "ScenarioRunner",
+    "cheapest_minutes",
+    "dispatch_der",
+    "first_minutes",
+    "generate_dr_events",
+    "plan_events",
+    "scenario_price_plan",
+    "schedule_cost",
+    "solar_trace",
+    "summarize_system_savings",
+]

@@ -1,0 +1,53 @@
+"""Coordinated-schedule baselines for the deferrable-load tier.
+
+For an *interruptible* must-run-k-minutes task, running in the k
+cheapest minutes of the window is provably optimal (the cost is a sum
+of k per-minute prices, each freely chosen from the window), so
+:func:`cheapest_minutes` bounds every feasible schedule from below —
+including anything the DQN produces.  The naive first-k schedule is the
+"no EMS" reference: start the chore the moment the window opens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cheapest_minutes",
+    "first_minutes",
+    "schedule_cost",
+]
+
+
+def cheapest_minutes(price: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask selecting the *k* cheapest minutes of the window.
+
+    Stable sort: ties break toward the earlier minute, so the schedule
+    is deterministic across platforms.
+    """
+    price = np.asarray(price, dtype=np.float64)
+    if price.ndim != 1:
+        raise ValueError("price must be a 1-D window")
+    if not 0 <= k <= price.shape[0]:
+        raise ValueError("k must be in [0, window length]")
+    mask = np.zeros(price.shape[0], dtype=bool)
+    mask[np.argsort(price, kind="stable")[:k]] = True
+    return mask
+
+
+def first_minutes(horizon: int, k: int) -> np.ndarray:
+    """Boolean mask of the naive schedule: run the first *k* minutes."""
+    if not 0 <= k <= horizon:
+        raise ValueError("k must be in [0, horizon]")
+    mask = np.zeros(int(horizon), dtype=bool)
+    mask[:k] = True
+    return mask
+
+
+def schedule_cost(mask: np.ndarray, price: np.ndarray, on_kw: float) -> float:
+    """$ paid for running at *on_kw* during the masked minutes."""
+    mask = np.asarray(mask, dtype=bool)
+    price = np.asarray(price, dtype=np.float64)
+    if mask.shape != price.shape:
+        raise ValueError("mask and price must be aligned")
+    return float(on_kw * price[mask].sum() / 60.0)

@@ -1,0 +1,228 @@
+"""Distributed energy resources: per-residence solar + battery.
+
+The solar trace is a deterministic daylight bell (centred after solar
+noon) with a seasonal amplitude and a seeded per-(residence, day) cloud
+factor, addressed through :func:`repro.rng.hash_seed` so any single
+day's trace can be regenerated without replaying the run.
+
+The battery is a simple capacity / power / round-trip-efficiency model;
+the round-trip loss is split evenly (``sqrt(eta)``) between the charge
+and discharge half-cycles so ``delivered == absorbed * eta`` over a full
+cycle.  :func:`dispatch_der` is the greedy household policy: charge from
+solar surplus, discharge into the priciest minutes, never export (no
+feed-in tariff — surplus the battery cannot absorb is spilled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import hash_seed
+
+__all__ = ["Battery", "DERDispatch", "DERMeter", "dispatch_der", "solar_trace"]
+
+#: Fraction of the day's price distribution above which the battery
+#: discharges (the "expensive minutes" of the greedy dispatch).
+DISCHARGE_QUANTILE = 0.7
+
+
+def solar_trace(
+    peak_kw: float,
+    minutes_per_day: int,
+    day_of_year: int,
+    residence_id: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """One day of per-minute PV output (kW) for one residence.
+
+    Deterministic bell ``exp(-((h - 12.5) / 3)^2 / 2)`` scaled by the
+    seasonal factor ``1 + 0.45 cos(2pi (d - 172) / 365)`` (midsummer
+    peak) and a per-day cloud factor drawn from
+    ``hash_seed(seed, "solar", residence, day)``.
+    """
+    if peak_kw < 0:
+        raise ValueError("peak_kw must be >= 0")
+    if minutes_per_day < 1:
+        raise ValueError("minutes_per_day must be >= 1")
+    if peak_kw == 0:
+        return np.zeros(minutes_per_day)
+    hours = np.arange(minutes_per_day) * (24.0 / minutes_per_day)
+    bell = np.exp(-0.5 * ((hours - 12.5) / 3.0) ** 2)
+    # Cut the tails: no generation before ~6h or after ~20h.
+    bell = np.where((hours > 5.5) & (hours < 20.0), bell, 0.0)
+    season = 1.0 + 0.45 * np.cos(2.0 * np.pi * (day_of_year - 172.0) / 365.0)
+    rng = np.random.default_rng(
+        hash_seed(seed, "solar", residence_id, int(day_of_year))
+    )
+    cloud = float(rng.uniform(0.35, 1.0))
+    return np.clip(peak_kw * max(season, 0.0) * cloud * bell, 0.0, None)
+
+
+class Battery:
+    """Capacity / power / round-trip-efficiency battery model.
+
+    State is the stored energy ``soc_kwh`` in ``[0, capacity_kwh]``.
+    Both half-cycles apply ``sqrt(efficiency)`` so a full round trip
+    delivers ``efficiency`` times the grid-side energy absorbed.  A
+    zero-capacity or zero-power battery is a valid no-op component.
+    """
+
+    def __init__(
+        self, capacity_kwh: float, max_kw: float, efficiency: float = 0.9
+    ) -> None:
+        if capacity_kwh < 0 or max_kw < 0:
+            raise ValueError("capacity_kwh and max_kw must be >= 0")
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        self.capacity_kwh = float(capacity_kwh)
+        self.max_kw = float(max_kw)
+        self.efficiency = float(efficiency)
+        self._eta_half = float(np.sqrt(efficiency))
+        self.soc_kwh = 0.0
+
+    def charge(self, request_kw: float, minutes: float = 1.0) -> float:
+        """Absorb up to *request_kw* for *minutes*; returns the kW taken."""
+        if request_kw <= 0 or self.capacity_kwh <= 0 or self.max_kw <= 0:
+            return 0.0
+        headroom_kwh = self.capacity_kwh - self.soc_kwh
+        absorbed = min(
+            float(request_kw),
+            self.max_kw,
+            headroom_kwh * 60.0 / (minutes * self._eta_half),
+        )
+        absorbed = max(absorbed, 0.0)
+        self.soc_kwh += absorbed * self._eta_half * minutes / 60.0
+        return absorbed
+
+    def discharge(self, request_kw: float, minutes: float = 1.0) -> float:
+        """Deliver up to *request_kw* for *minutes*; returns the kW given."""
+        if request_kw <= 0 or self.max_kw <= 0:
+            return 0.0
+        delivered = min(
+            float(request_kw),
+            self.max_kw,
+            self.soc_kwh * self._eta_half * 60.0 / minutes,
+        )
+        delivered = max(delivered, 0.0)
+        self.soc_kwh -= delivered / self._eta_half * minutes / 60.0
+        self.soc_kwh = max(self.soc_kwh, 0.0)
+        return delivered
+
+    def state_dict(self) -> dict:
+        return {"soc_kwh": self.soc_kwh}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.soc_kwh = float(state["soc_kwh"])
+
+
+@dataclass(frozen=True)
+class DERDispatch:
+    """Result of netting one load window through solar + battery."""
+
+    #: Per-minute net grid draw (kW) after solar and battery.
+    grid_kw: np.ndarray
+    #: Solar energy consumed by the load (kWh).
+    solar_used_kwh: float
+    #: Solar surplus neither used nor stored (kWh) — no feed-in.
+    solar_spilled_kwh: float
+    #: Grid-side energy absorbed by the battery (kWh).
+    charged_kwh: float
+    #: Energy the battery delivered to the load (kWh).
+    discharged_kwh: float
+
+
+def dispatch_der(
+    load_kw: np.ndarray,
+    solar_kw: np.ndarray,
+    price: np.ndarray,
+    battery: Battery,
+) -> DERDispatch:
+    """Greedy per-minute DER dispatch over one aligned window.
+
+    Solar serves the load first; surplus charges the battery (the rest
+    spills).  The battery discharges into minutes whose price sits in
+    the top ``1 - DISCHARGE_QUANTILE`` of the window.  The returned grid
+    trace is what actually gets priced.
+    """
+    load = np.asarray(load_kw, dtype=np.float64)
+    solar = np.asarray(solar_kw, dtype=np.float64)
+    price = np.asarray(price, dtype=np.float64)
+    if not (load.shape == solar.shape == price.shape) or load.ndim != 1:
+        raise ValueError("load, solar and price must be aligned 1-D windows")
+    threshold = float(np.quantile(price, DISCHARGE_QUANTILE))
+    grid = np.zeros_like(load)
+    solar_used = spilled = charged = discharged = 0.0
+    for i in range(load.shape[0]):
+        net = load[i] - solar[i]
+        if net <= 0:
+            solar_used += load[i] / 60.0
+            surplus = -net
+            absorbed = battery.charge(surplus)
+            charged += absorbed / 60.0
+            spilled += (surplus - absorbed) / 60.0
+            grid[i] = 0.0
+        else:
+            solar_used += solar[i] / 60.0
+            delivered = (
+                battery.discharge(net) if price[i] >= threshold else 0.0
+            )
+            discharged += delivered / 60.0
+            grid[i] = net - delivered
+    return DERDispatch(
+        grid_kw=grid,
+        solar_used_kwh=solar_used,
+        solar_spilled_kwh=spilled,
+        charged_kwh=charged,
+        discharged_kwh=discharged,
+    )
+
+
+class DERMeter:
+    """Streaming DER netting for the online serving layer.
+
+    Duck-typed hook for
+    :class:`repro.core.controller.OnlineController`: each minute the
+    controller hands the household's total controlled draw to
+    :meth:`net` and gets back the grid draw after solar and battery.
+    The solar trace and price series are minute-indexed over the whole
+    deployment; the cursor advances once per call.
+    """
+
+    def __init__(
+        self,
+        solar_kw: np.ndarray,
+        price: np.ndarray,
+        battery: Battery,
+    ) -> None:
+        self.solar_kw = np.asarray(solar_kw, dtype=np.float64)
+        self.price = np.asarray(price, dtype=np.float64)
+        if self.solar_kw.shape != self.price.shape or self.solar_kw.ndim != 1:
+            raise ValueError("solar and price series must be aligned 1-D")
+        self.battery = battery
+        self._threshold = float(np.quantile(self.price, DISCHARGE_QUANTILE))
+        self._t = 0
+        self.grid_kwh = 0.0
+        self.solar_used_kwh = 0.0
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    def net(self, load_kw: float) -> float:
+        """Net one minute of household load; returns the grid draw (kW)."""
+        if self._t >= self.solar_kw.shape[0]:
+            raise RuntimeError("DER meter exhausted its solar/price series")
+        t = self._t
+        self._t += 1
+        net = float(load_kw) - float(self.solar_kw[t])
+        if net <= 0:
+            self.solar_used_kwh += float(load_kw) / 60.0
+            self.battery.charge(-net)
+            return 0.0
+        self.solar_used_kwh += float(self.solar_kw[t]) / 60.0
+        if self.price[t] >= self._threshold:
+            net -= self.battery.discharge(net)
+        self.grid_kwh += net / 60.0
+        return net

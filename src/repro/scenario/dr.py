@@ -1,0 +1,120 @@
+"""Seeded demand-response events and scenario tariff selection.
+
+A DR event is a grid-level window (one per day at most) during which the
+utility layers an incentive on top of the base tariff: consuming inside
+the window costs more, so a kWh the EMS shifts *out* of the window is
+worth base + incentive.  Events are drawn per day from
+``hash_seed(seed, "dr", day_of_year)`` so any day's event schedule is
+reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.pricing import (
+    DemandResponsePlan,
+    PricePlan,
+    RealTimeRatePlan,
+    VariableRatePlan,
+)
+from repro.rng import hash_seed
+
+__all__ = [
+    "DREvent",
+    "generate_dr_events",
+    "plan_events",
+    "scenario_price_plan",
+]
+
+
+@dataclass(frozen=True)
+class DREvent:
+    """One grid demand-response window with its incentive price."""
+
+    day_of_year: int
+    start_hour: float
+    end_hour: float
+    incentive_per_kwh: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_hour < self.end_hour <= 24.0:
+            raise ValueError("need 0 <= start_hour < end_hour <= 24")
+        if self.incentive_per_kwh < 0:
+            raise ValueError("incentive_per_kwh must be >= 0")
+
+
+def generate_dr_events(
+    n_days: int,
+    start_day: int = 0,
+    rate: float = 0.3,
+    incentive_per_kwh: float = 0.25,
+    duration_hours: float = 2.0,
+    seed: int = 0,
+) -> tuple[DREvent, ...]:
+    """Seeded grid-event schedule: at most one event per day.
+
+    Each day fires an event with probability *rate*; its start is drawn
+    uniformly inside the evening stress band (14:00 to 21:00 minus the
+    duration), mirroring real capacity-driven DR programs.
+    """
+    if n_days < 0:
+        raise ValueError("n_days must be >= 0")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    if not 0.0 < duration_hours <= 24.0:
+        raise ValueError("duration_hours must be in (0, 24]")
+    events: list[DREvent] = []
+    for day in range(start_day, start_day + n_days):
+        rng = np.random.default_rng(hash_seed(seed, "dr", day))
+        if rng.random() >= rate:
+            continue
+        latest = max(14.0, 21.0 - duration_hours)
+        start = float(rng.uniform(14.0, latest)) if latest > 14.0 else 14.0
+        end = min(start + duration_hours, 24.0)
+        events.append(
+            DREvent(
+                day_of_year=day,
+                start_hour=start,
+                end_hour=end,
+                incentive_per_kwh=float(incentive_per_kwh),
+            )
+        )
+    return tuple(events)
+
+
+def plan_events(
+    events: tuple[DREvent, ...],
+) -> tuple[tuple[float, float, float, float], ...]:
+    """Convert :class:`DREvent` rows to the tuple rows
+    :class:`repro.data.pricing.DemandResponsePlan` consumes."""
+    return tuple(
+        (float(e.day_of_year), e.start_hour, e.end_hour, e.incentive_per_kwh)
+        for e in events
+    )
+
+
+def scenario_price_plan(scenario, data) -> PricePlan:
+    """The tariff of a scenario run.
+
+    ``tou`` is the existing :class:`VariableRatePlan`, ``realtime`` the
+    closed-form :class:`RealTimeRatePlan`, and ``dr`` layers a seeded
+    event schedule (spanning the run's days) on the TOU base.
+    """
+    if scenario.pricing == "tou":
+        return VariableRatePlan()
+    if scenario.pricing == "realtime":
+        return RealTimeRatePlan()
+    if scenario.pricing == "dr":
+        events = generate_dr_events(
+            n_days=data.n_days,
+            start_day=data.start_day,
+            rate=scenario.dr_event_rate,
+            incentive_per_kwh=scenario.dr_incentive_per_kwh,
+            duration_hours=scenario.dr_duration_hours,
+            seed=scenario.seed,
+        )
+        return DemandResponsePlan(base=VariableRatePlan(), events=plan_events(events))
+    raise ValueError(f"unknown pricing regime {scenario.pricing!r}")

@@ -1,0 +1,338 @@
+"""The grid-aware scenario runner (schedulable loads + DERs + DR events).
+
+:class:`ScenarioRunner` trains one 4-action deadline-scheduling DQN per
+(residence, schedulable device) pair over the training days' task
+windows, then evaluates the greedy policy on the held-out days against
+two coordinated baselines:
+
+- **optimal**: the k-cheapest-minutes schedule (a true lower bound for
+  an interruptible task — see :mod:`repro.scenario.baseline`), and
+- **naive**: run the chore the moment its window opens.
+
+Evaluation also nets the scheduled load through the per-residence DER
+tier (solar + battery) and reports the grid cost with and without it.
+
+Training is day-granular and checkpoint-resumable through
+:class:`repro.persist.CheckpointStore` with a config-digest guard,
+mirroring the main pipeline: a run resumed from a mid-run checkpoint is
+bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import replace
+
+import numpy as np
+
+from repro.config import PFDRLConfig, config_to_dict
+from repro.data.generator import ScheduleRequest, generate_schedule_requests
+from repro.data.residence import make_profiles
+from repro.rl.dqn import DQNAgent
+from repro.rl.env import ScheduleEnv
+from repro.rl.qnet import SCHED_STATE_DIM
+from repro.rng import hash_seed
+from repro.scenario.baseline import cheapest_minutes, first_minutes, schedule_cost
+from repro.scenario.der import Battery, dispatch_der, solar_trace
+from repro.scenario.dr import scenario_price_plan
+
+__all__ = ["ScenarioRunner", "summarize_system_savings"]
+
+#: Floor applied to the per-minute price grid — ScheduleEnv requires
+#: strictly positive prices and the reward normalises by the mean.
+PRICE_FLOOR = 1e-4
+
+
+class ScenarioRunner:
+    """Train/evaluate the schedulable-load tier of one scenario run."""
+
+    def __init__(self, config: PFDRLConfig) -> None:
+        if config.scenario is None:
+            raise ValueError("config.scenario must be set for a scenario run")
+        self.config = config
+        self.scenario = config.scenario
+        self.data = config.data
+        sc = self.scenario
+
+        self.plan = scenario_price_plan(sc, self.data)
+        mpd = self.data.minutes_per_day
+        hours = np.arange(mpd) * (24.0 / mpd)
+        #: Per-(day, minute) price grid of the whole run.
+        self.price = np.stack(
+            [
+                np.maximum(
+                    np.asarray(
+                        self.plan.price_per_kwh(
+                            hours, np.full(mpd, float(self.data.start_day + d))
+                        ),
+                        dtype=np.float64,
+                    ),
+                    PRICE_FLOOR,
+                )
+                for d in range(self.data.n_days)
+            ]
+        )
+
+        self.requests = generate_schedule_requests(
+            self.data, sc.schedulable_devices
+        )
+        self.profiles = {
+            p.residence_id: p
+            for p in make_profiles(
+                self.data.n_residences,
+                tuple(sc.schedulable_devices),
+                self.data.heterogeneity,
+                self.data.seed,
+            )
+        }
+        self._by_day: dict[int, list[ScheduleRequest]] = defaultdict(list)
+        for req in self.requests:
+            self._by_day[req.day].append(req)
+        for day_requests in self._by_day.values():
+            day_requests.sort(key=lambda r: (r.residence_id, r.device))
+
+        # Same train/eval day split convention as the main pipeline.
+        n_days = self.data.n_days
+        self.n_train_days = max(1, int(round(n_days * self.data.train_fraction)))
+        if n_days > 1:
+            self.n_train_days = min(self.n_train_days, n_days - 1)
+
+        # One 4-action agent per (residence, device) task stream, each on
+        # its own hash-addressed seed so the fleet is order-independent.
+        dqn_cfg = replace(config.dqn, n_actions=4)
+        keys = sorted({(r.residence_id, r.device) for r in self.requests})
+        self.agents = {
+            key: DQNAgent(
+                dqn_cfg,
+                seed=hash_seed(config.seed, "sched-agent", key[0], key[1]),
+                state_dim=SCHED_STATE_DIM,
+            )
+            for key in keys
+        }
+        self.day_done = 0
+
+    # ------------------------------------------------------------------
+    def _solar_day(self, residence_id: int, day: int) -> np.ndarray:
+        return solar_trace(
+            self.scenario.solar_peak_kw,
+            self.data.minutes_per_day,
+            self.data.start_day + day,
+            residence_id,
+            seed=self.scenario.seed,
+        )
+
+    def _env(self, req: ScheduleRequest) -> ScheduleEnv:
+        profile = self.profiles[req.residence_id]
+        window = slice(req.start_min, req.end_min)
+        return ScheduleEnv(
+            self.price[req.day, window],
+            profile.on_kw(req.device),
+            profile.standby_kw(req.device),
+            req.run_minutes,
+            context_kw=self._solar_day(req.residence_id, req.day)[window],
+            device=req.device,
+            deadline_penalty=self.scenario.deadline_penalty,
+        )
+
+    # ------------------------------------------------------------------
+    def run_day(self) -> None:
+        """Train every task window of the next pending day."""
+        day = self.day_done
+        for req in self._by_day.get(day, ()):
+            agent = self.agents[(req.residence_id, req.device)]
+            for _ in range(self.scenario.episodes_per_task):
+                agent.run_episode(self._env(req))
+        self.day_done += 1
+
+    def run(
+        self,
+        store=None,
+        checkpoint_every: int = 2,
+        resume: bool = False,
+        stop_after_day: int | None = None,
+    ) -> dict:
+        """Train all training days (checkpoint-segmented), then evaluate.
+
+        With *store*, state is saved every ``checkpoint_every`` days and
+        at the end of training; ``resume=True`` picks up from the
+        store's latest checkpoint (digest-guarded).  ``stop_after_day``
+        force-checkpoints and raises
+        :class:`~repro.persist.TrainingInterrupted` once that day
+        completes, simulating a crash between segments.
+        """
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        from repro.persist import TrainingInterrupted
+
+        if resume and store is not None and store.latest_step() is not None:
+            self.resume(store)
+        while self.day_done < self.n_train_days:
+            self.run_day()
+            stop_here = (
+                stop_after_day is not None and self.day_done >= stop_after_day
+            )
+            if store is not None and (
+                self.day_done % checkpoint_every == 0
+                or self.day_done == self.n_train_days
+                or stop_here
+            ):
+                store.save(
+                    self.day_done,
+                    self.state_dict(),
+                    meta={
+                        "config_sha256": self.config_digest(),
+                        "day": self.day_done,
+                    },
+                )
+            if stop_here and self.day_done < self.n_train_days:
+                raise TrainingInterrupted(self.day_done)
+        return self.evaluate()
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> dict:
+        """Greedy policy vs the coordinated baselines on held-out days."""
+        from repro.rl.batch import schedule_rollout
+
+        eval_days = range(self.n_train_days, self.data.n_days)
+        groups: dict[tuple[int, str], list[ScheduleRequest]] = defaultdict(list)
+        for day in eval_days:
+            for req in self._by_day.get(day, ()):
+                groups[(req.residence_id, req.device)].append(req)
+
+        mpd = self.data.minutes_per_day
+        dqn_cost = baseline_cost = naive_cost = 0.0
+        forced_runs = tasks = run_minutes = 0
+        #: Scheduled-load kW per (residence, eval day) for DER netting.
+        sched_kw: dict[tuple[int, int], np.ndarray] = {}
+        for key in sorted(groups):
+            reqs = groups[key]
+            envs = [self._env(r) for r in reqs]
+            schedule_rollout(self.agents[key].qnet, envs)
+            for req, env in zip(reqs, envs):
+                window = self.price[req.day, req.start_min : req.end_min]
+                on_kw = self.profiles[req.residence_id].on_kw(req.device)
+                dqn_cost += env.cost()
+                forced_runs += env.forced_runs
+                tasks += 1
+                run_minutes += req.run_minutes
+                baseline_cost += schedule_cost(
+                    cheapest_minutes(window, req.run_minutes), window, on_kw
+                )
+                naive_cost += schedule_cost(
+                    first_minutes(env.horizon, req.run_minutes), window, on_kw
+                )
+                slot = sched_kw.setdefault(
+                    (req.residence_id, req.day), np.zeros(mpd)
+                )
+                slot[req.start_min : req.end_min] += np.nan_to_num(
+                    env.controlled_kw
+                )
+
+        sc = self.scenario
+        grid_cost = raw_cost = solar_kwh = charged = discharged = 0.0
+        for (rid, day), load in sorted(sched_kw.items()):
+            battery = Battery(
+                sc.battery_kwh, sc.battery_max_kw, sc.battery_efficiency
+            )
+            dispatch = dispatch_der(
+                load, self._solar_day(rid, day), self.price[day], battery
+            )
+            grid_cost += float((dispatch.grid_kw * self.price[day]).sum() / 60.0)
+            raw_cost += float((load * self.price[day]).sum() / 60.0)
+            solar_kwh += dispatch.solar_used_kwh
+            charged += dispatch.charged_kwh
+            discharged += dispatch.discharged_kwh
+
+        gap = float("nan")
+        if baseline_cost > 0:
+            gap = (dqn_cost - baseline_cost) / baseline_cost
+        return {
+            "pricing": sc.pricing,
+            "tasks": tasks,
+            "run_minutes": run_minutes,
+            "dqn_cost": float(dqn_cost),
+            "baseline_cost": float(baseline_cost),
+            "naive_cost": float(naive_cost),
+            "dqn_vs_baseline_gap": float(gap),
+            "forced_runs": forced_runs,
+            "forced_fraction": (
+                forced_runs / run_minutes if run_minutes else float("nan")
+            ),
+            "der": {
+                "grid_cost": float(grid_cost),
+                "raw_cost": float(raw_cost),
+                "solar_used_kwh": float(solar_kwh),
+                "battery_charged_kwh": float(charged),
+                "battery_discharged_kwh": float(discharged),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    def config_digest(self) -> str:
+        from repro.persist import json_digest
+
+        return json_digest(
+            {"config": config_to_dict(self.config), "variant": "scenario-runner"}
+        )
+
+    def state_dict(self) -> dict:
+        return {
+            "day_done": self.day_done,
+            "agents": {
+                f"{rid}:{device}": agent.state_dict()
+                for (rid, device), agent in self.agents.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.day_done = int(state["day_done"])
+        for (rid, device), agent in self.agents.items():
+            agent.load_state_dict(state["agents"][f"{rid}:{device}"])
+
+    def resume(self, store, step: int | None = None) -> dict:
+        """Load a training checkpoint (default latest), digest-guarded."""
+        from repro.persist import CheckpointError
+
+        state, manifest = store.load(step=step)
+        recorded = manifest.get("meta", {}).get("config_sha256")
+        if recorded is not None and recorded != self.config_digest():
+            raise CheckpointError(
+                "scenario checkpoint was written under a different config "
+                f"(digest {recorded[:12]}… vs {self.config_digest()[:12]}…)"
+            )
+        self.load_state_dict(state)
+        return manifest
+
+
+def summarize_system_savings(
+    config: PFDRLConfig, saved_kw: np.ndarray
+) -> dict:
+    """Price a trained EMS's saved energy under the scenario tariff.
+
+    *saved_kw* is the ``(n_residences, n_minutes)`` per-minute saved
+    power of :class:`repro.core.pfdrl.EMSEvaluation`; the summary values
+    it under the scenario's plan (events and all), splitting out the DR
+    incentive share when the plan carries one.
+    """
+    if config.scenario is None:
+        raise ValueError("config.scenario must be set")
+    plan = scenario_price_plan(config.scenario, config.data)
+    saved_kw = np.asarray(saved_kw, dtype=np.float64)
+    mpd = config.data.minutes_per_day
+    mph = max(1, mpd // 24)
+    minutes = np.arange(saved_kw.shape[1])
+    hours = (minutes % mpd) / mph
+    days = config.data.start_day + minutes // mpd
+    delta_kwh = saved_kw.sum(axis=0) / 60.0
+    summary = {
+        "pricing": config.scenario.pricing,
+        "plan": plan.name,
+        "saved_value": float(plan.cost(delta_kwh, hours, days)),
+        "saved_kwh": float(delta_kwh.sum()),
+    }
+    if hasattr(plan, "incentive_per_kwh"):
+        incentive = np.asarray(plan.incentive_per_kwh(hours, days))
+        summary["dr_incentive_value"] = float((delta_kwh * incentive).sum())
+        summary["dr_event_minutes"] = int((incentive > 0).sum())
+    return summary

@@ -130,9 +130,9 @@ class TestDQNTargetInit:
         calls = []
         real = dqn_mod.make_qnet
 
-        def counting(config, rng=None):
+        def counting(config, rng=None, state_dim=None):
             calls.append(config)
-            return real(config, rng=rng)
+            return real(config, rng=rng, state_dim=state_dim)
 
         monkeypatch.setattr(dqn_mod, "make_qnet", counting)
         DQNAgent(self.cfg(), seed=0)
@@ -246,3 +246,143 @@ class TestClassifyModesPhantomStandby:
         # on band takes precedence (assignment order is the contract).
         out = classify_modes(np.array([0.92, 1.0]), on_kw=1.0, standby_kw=0.95)
         assert (out == MODE_ON).all()
+
+
+class TestActionDrawRuleSingleSource:
+    """Regression (scenario-pack PR): ``DeviceEnv.step`` and
+    ``OnlineController.observe_minute`` carried their own inline copies
+    of the action -> controlled-draw rule instead of routing through
+    :func:`repro.rl.env.apply_actions`.  A semantics tweak to the shared
+    rule (say, the standby headroom) would have silently diverged the
+    serial env from the batched rollout and the serving engine.  Both
+    must call the single shared function, and the three execution paths
+    must materialise bit-identical controlled traces."""
+
+    ON_KW = 1.0
+    STANDBY_KW = 0.05
+    HORIZON = 6
+
+    def _trace(self, n=36, seed=7):
+        rng = np.random.default_rng(seed)
+        levels = np.array([0.0, self.STANDBY_KW, self.ON_KW])
+        real = levels[rng.integers(0, 3, size=n)]
+        # Predicted series matching the controller's persistence rule:
+        # standby before any history, then the reading at the last
+        # horizon boundary — so all three paths see identical states.
+        pred = np.empty(n)
+        for t in range(n):
+            if t < self.HORIZON:
+                pred[t] = self.STANDBY_KW
+            else:
+                pred[t] = real[(t // self.HORIZON) * self.HORIZON - 1]
+        return pred, real
+
+    def _agent(self):
+        from repro.rl.qnet import make_qnet
+
+        cfg = DQNConfig(hidden_width=8, n_hidden_layers=2)
+        agent = DQNAgent(cfg, seed=11)
+        return agent
+
+    def test_env_step_routes_through_apply_actions(self, monkeypatch):
+        import repro.rl.env as env_mod
+
+        calls = []
+        shared = env_mod.apply_actions
+
+        def spy(actions, real_kw, standby_kw):
+            calls.append(int(np.asarray(actions)[0]))
+            return shared(actions, real_kw, standby_kw)
+
+        monkeypatch.setattr(env_mod, "apply_actions", spy)
+        pred, real = self._trace(n=6)
+        env = env_mod.DeviceEnv(pred, real, self.ON_KW, self.STANDBY_KW)
+        env.reset()
+        for action in (0, 1, 2):
+            env.step(action)
+        # Pre-fix the env used an inline rule and the spy never fired.
+        assert calls == [0, 1, 2]
+
+    def test_controller_routes_through_apply_actions(self, monkeypatch):
+        import repro.core.controller as ctrl_mod
+
+        calls = []
+        shared = ctrl_mod.apply_actions
+
+        def spy(actions, real_kw, standby_kw):
+            calls.append(int(np.asarray(actions)[0]))
+            return shared(actions, real_kw, standby_kw)
+
+        monkeypatch.setattr(ctrl_mod, "apply_actions", spy)
+        controller = self._controller()
+        controller.observe_minute({"tv": 0.5})
+        assert len(calls) == 1
+
+    def _controller(self):
+        from types import SimpleNamespace
+
+        from repro.core.controller import DeviceNominals, OnlineController
+
+        # Persistence-only forecaster: window longer than any trace we
+        # stream, so forecast_block never calls predict().
+        fake = SimpleNamespace(window=10**6, horizon=self.HORIZON, n_extra=0)
+        return OnlineController(
+            forecasters={"tv": fake},
+            agent=self._agent(),
+            nominals={"tv": DeviceNominals(self.ON_KW, self.STANDBY_KW)},
+            minutes_per_day=240,
+        )
+
+    def test_three_paths_identical_controlled_traces(self, monkeypatch):
+        import repro.core.controller as ctrl_mod
+        from repro.core.streams import DeviceStream
+        from repro.rl.batch import greedy_rollout
+        from repro.rl.env import DeviceEnv
+        from repro.rl.modes import classify_modes
+
+        pred, real = self._trace()
+        agent = self._agent()
+
+        # 1. Serial environment, greedy agent loop.
+        env = DeviceEnv(pred, real, self.ON_KW, self.STANDBY_KW, device="tv")
+        state = env.reset()
+        serial_actions = []
+        done = False
+        while not done:
+            action = agent.act(state, greedy=True)
+            step = env.step(action)
+            serial_actions.append(action)
+            state, done = step.state, step.done
+        serial_controlled = env.controlled_kw.copy()
+
+        # 2. Batched greedy rollout (the evaluation hot path).
+        stream = DeviceStream(
+            device="tv",
+            real_kw=real,
+            predicted_kw=pred,
+            mode=classify_modes(real, self.ON_KW, self.STANDBY_KW),
+            on_kw=self.ON_KW,
+            standby_kw=self.STANDBY_KW,
+        )
+        batch_actions, batch_controlled, _ = greedy_rollout(agent.qnet, stream)
+
+        # 3. The online controller (the serving-side minute loop),
+        #    controlled draws recorded at the shared rule itself.
+        recorded = []
+        shared = ctrl_mod.apply_actions
+
+        def spy(actions, real_kw, standby_kw):
+            out = shared(actions, real_kw, standby_kw)
+            recorded.append(float(out[0]))
+            return out
+
+        monkeypatch.setattr(ctrl_mod, "apply_actions", spy)
+        controller = self._controller()
+        controller.agent = agent
+        ctrl_actions = [
+            m["tv"] for m in controller.run_trace({"tv": real})
+        ]
+
+        assert serial_actions == list(batch_actions) == ctrl_actions
+        assert np.array_equal(serial_controlled, batch_controlled)
+        assert np.array_equal(serial_controlled, np.asarray(recorded))

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.data.pricing import (
+    DemandResponsePlan,
     FixedRatePlan,
     PricePlan,
+    RealTimeRatePlan,
     VariableRatePlan,
     default_fixed_plan,
     default_variable_plan,
@@ -67,3 +69,94 @@ class TestVariableRate:
         plan = default_variable_plan()
         p = plan.price_per_kwh(np.arange(24.0), 100.0)
         assert p.shape == (24,)
+
+    def test_winter_peak_never_below_shoulder(self):
+        """Regression: the seasonal trough used to invert the tariff.
+
+        At the trough (day 382.5 ≡ ~17 Jan, cos = -1) the scaled peak
+        was 0.172 x 0.65 ≈ 0.1118 < 0.112 — the 14:00-20:00 "peak" tier
+        priced *below* the midday shoulder.  Pre-fix this assertion
+        fails; the fix floors the effective peak at the shoulder.
+        """
+        plan = default_variable_plan()
+        trough_day = np.asarray([200.0 + 365.0 / 2.0])
+        peak = plan.price_per_kwh(np.asarray([16.0]), trough_day)[0]
+        shoulder = plan.price_per_kwh(np.asarray([10.0]), trough_day)[0]
+        assert peak >= shoulder
+
+    def test_tier_order_holds_every_hour_day(self):
+        """Property: off_peak <= shoulder <= effective peak, all year.
+
+        Exhaustive over every (hour, day_of_year) pair — the tariff's
+        tier ordering is an invariant of the plan, not of the season.
+        """
+        plan = default_variable_plan()
+        hours = np.tile(np.arange(24.0), 365)
+        days = np.repeat(np.arange(365.0), 24)
+        prices = plan.price_per_kwh(hours, days).reshape(365, 24)
+        off = prices[:, [h for h in range(24) if h >= 22 or h < 6]]
+        shoulder = prices[:, [h for h in range(24) if 6 <= h < 14 or 20 <= h < 22]]
+        peak = prices[:, [h for h in range(24) if 14 <= h < 20]]
+        # Within each day: every off-peak price <= every shoulder price
+        # <= every peak price (the tiers are flat within a day).
+        assert np.all(off.max(axis=1) <= shoulder.min(axis=1) + 1e-12)
+        assert np.all(shoulder.max(axis=1) <= peak.min(axis=1) + 1e-12)
+
+
+class TestRealTimeRate:
+    def test_positive_and_floored(self):
+        plan = RealTimeRatePlan()
+        hours = np.tile(np.arange(0.0, 24.0, 0.25), 365)
+        days = np.repeat(np.arange(365.0), 96)
+        prices = plan.price_per_kwh(hours, days)
+        assert np.all(prices >= plan.floor - 1e-12)
+
+    def test_evening_hump_beats_nighttime(self):
+        plan = RealTimeRatePlan()
+        day = np.asarray([180.0])
+        evening = plan.price_per_kwh(np.asarray([17.0]), day)[0]
+        night = plan.price_per_kwh(np.asarray([3.0]), day)[0]
+        assert evening > night
+
+    def test_deterministic_closed_form(self):
+        plan = RealTimeRatePlan()
+        hours = np.arange(24.0)
+        days = np.full(24, 42.0)
+        assert np.array_equal(
+            plan.price_per_kwh(hours, days), plan.price_per_kwh(hours, days)
+        )
+
+    def test_protocol_conformance(self):
+        assert isinstance(RealTimeRatePlan(), PricePlan)
+
+
+class TestDemandResponse:
+    def _plan(self) -> DemandResponsePlan:
+        return DemandResponsePlan(
+            base=VariableRatePlan(), events=((10.0, 17.0, 19.0, 0.25),)
+        )
+
+    def test_incentive_only_inside_window(self):
+        plan = self._plan()
+        inside = plan.incentive_per_kwh(np.asarray([18.0]), np.asarray([10.0]))[0]
+        wrong_hour = plan.incentive_per_kwh(np.asarray([12.0]), np.asarray([10.0]))[0]
+        wrong_day = plan.incentive_per_kwh(np.asarray([18.0]), np.asarray([11.0]))[0]
+        assert inside == pytest.approx(0.25)
+        assert wrong_hour == 0.0
+        assert wrong_day == 0.0
+
+    def test_price_is_base_plus_incentive(self):
+        plan = self._plan()
+        hour, day = np.asarray([18.0]), np.asarray([10.0])
+        assert plan.price_per_kwh(hour, day)[0] == pytest.approx(
+            plan.base.price_per_kwh(hour, day)[0] + 0.25
+        )
+
+    def test_rejects_bad_event_windows(self):
+        with pytest.raises(ValueError):
+            DemandResponsePlan(events=((10.0, 19.0, 17.0, 0.25),))
+        with pytest.raises(ValueError):
+            DemandResponsePlan(events=((10.0, 17.0, 19.0, -0.1),))
+
+    def test_protocol_conformance(self):
+        assert isinstance(self._plan(), PricePlan)

@@ -27,12 +27,12 @@ class TestExamples:
 
     def test_custom_device(self, capsys):
         out = run_example("custom_device.py", capsys)
-        assert "ev_charger" in out
+        assert "pool_pump" in out
         assert "standby energy saved" in out
         # Clean up the registered device so other tests see the stock catalog.
         from repro.data.devices import DEVICE_CATALOG
 
-        DEVICE_CATALOG.pop("ev_charger", None)
+        DEVICE_CATALOG.pop("pool_pump", None)
 
     def test_all_examples_importable(self):
         """Every example compiles (no syntax or import-time errors)."""

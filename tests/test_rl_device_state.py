@@ -17,9 +17,18 @@ from repro.rl.qnet import (
 
 
 class TestDeviceVocab:
-    def test_vocab_matches_catalog(self):
-        assert DEVICE_VOCAB == tuple(DEVICE_CATALOG)
+    def test_vocab_is_frozen_catalog_prefix(self):
+        # The vocab is frozen to the original nine entries: STATE_DIM
+        # shapes every trained checkpoint's input layer, so growing the
+        # catalog (ev_charger & friends) must never widen it.
+        assert DEVICE_VOCAB == tuple(DEVICE_CATALOG)[: len(DEVICE_VOCAB)]
+        assert len(DEVICE_VOCAB) == 9
         assert STATE_DIM == 2 + len(DEVICE_VOCAB)
+
+    def test_catalog_growth_does_not_widen_state(self):
+        assert "ev_charger" in DEVICE_CATALOG
+        assert "ev_charger" not in DEVICE_VOCAB
+        assert device_index("ev_charger") is None
 
     def test_device_index(self):
         assert device_index("tv") == DEVICE_VOCAB.index("tv")
